@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the rows/series the paper reports (captured with ``-s`` or in the
+benchmark logs).  Experiments are deterministic, so every benchmark runs
+a single round — the interesting number is the artifact, not the
+harness's wall time.  Set ``REPRO_FULL=1`` for paper-scale sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

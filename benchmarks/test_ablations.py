@@ -1,0 +1,47 @@
+"""Benchmark: ablation studies on EasyDRAM's design choices."""
+
+from repro.analysis import format_table
+from repro.experiments import ablations
+
+
+def test_scheduler_ablation(once):
+    result = once(ablations.scheduler_ablation)
+    print()
+    print(format_table(["scheduler", "exec us"], result["rows"],
+                       title="Scheduler ablation"))
+    # FR-FCFS must not lose to FCFS on a row-locality workload.
+    assert result["frfcfs_speedup"] >= 0.99
+
+
+def test_mlp_sweep(once):
+    result = once(ablations.mlp_sweep, mlps=(1, 4, 16))
+    print()
+    print(format_table(["mlp", "copy us", "speedup"], result["rows"],
+                       title="MLP sweep (64 KiB copy)"))
+    # More outstanding misses -> faster streaming copy.
+    assert result["speedup_1_to_max"] > 1.5
+
+
+def test_bloom_sizing(once):
+    result = once(ablations.bloom_ablation, fp_rates=(0.3, 0.01))
+    print()
+    print(format_table(
+        ["fp rate", "bytes", "hashes", "demoted"], result["rows"],
+        title="Bloom-filter sizing"))
+    rows = result["rows"]
+    # A tighter false-positive budget costs more bytes and demotes
+    # fewer strong rows to the nominal tRCD.
+    assert rows[1][1] > rows[0][1]
+    assert rows[1][3] <= rows[0][3]
+
+
+def test_quantization_error_tracks_measurement_clock(once):
+    result = once(ablations.quantization_sweep, freqs_hz=(50e6, 333e6, 1e9))
+    print()
+    print(format_table(["clock", "cycles", "error %"], result["rows"],
+                       title="Time-scaling error vs measurement clock"))
+    errors = result["errors_pct"]
+    # Finer measurement clocks cannot increase the error; the native
+    # 1 GHz grid reproduces the reference exactly.
+    assert errors[-1] == 0.0
+    assert errors[0] >= errors[-1]

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 2 (request time breakdown)."""
+
+from repro.experiments import fig02_breakdown
+
+
+def test_fig02_request_breakdown(once):
+    result = once(fig02_breakdown.run, accesses=2500)
+    print()
+    print(fig02_breakdown.report(result))
+    details = result["details"]
+    real = details["Real system"]
+    ts = details["FPGA + software MC + Time Scaling"]
+    sw = details["FPGA + software MC"]
+    rtl = details["FPGA + RTL MC"]
+    # Shape: software MC is the slowest model; time scaling restores
+    # the real system's execution time.
+    assert sw.emulated_ps > rtl.emulated_ps > real.emulated_ps
+    assert abs(ts.emulated_ps - real.emulated_ps) / real.emulated_ps < 0.1

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 11 (RowClone speedups, CLFLUSH)."""
+
+from repro.experiments import fig10_rowclone_noflush, fig11_rowclone_clflush
+
+
+def test_fig11_rowclone_clflush(once):
+    result = once(fig11_rowclone_clflush.run)
+    print()
+    print(fig11_rowclone_clflush.report(result))
+    ts = "EasyDRAM - Time Scaling"
+    copy = result["copy"][ts]
+    init = result["init"][ts]
+    sizes = result["sizes"]
+    # Coherence overhead compresses copy speedups (paper: ~3-4x vs 15x)
+    # and grows milder as the array size grows.
+    assert copy[-1] > copy[0] * 0.8
+    assert max(copy) < 40
+    # Init degrades (speedup < 1) at the smallest sizes under CLFLUSH.
+    assert init[0] < 1.2
+    # ... and recovers with size.
+    assert init[-1] > init[0]

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (platform comparison)."""
+
+from repro.experiments import tab01_platforms
+
+
+def test_tab01_platform_comparison(once):
+    result = once(tab01_platforms.run, kernel="gemm", size="mini")
+    print()
+    print(tab01_platforms.report(result))
+    assert len(result["rows"]) == 6
+    # The defining Table 1 property: EasyDRAM evaluates orders of
+    # magnitude more CPU cycles per second than a software simulator
+    # run on the same host.
+    assert result["easydram_fpga_rate_hz"] > result["ramulator_rate_hz"]

@@ -1,0 +1,21 @@
+"""Reporting and charting helpers for experiments and benchmarks."""
+
+from repro.analysis.ascii_chart import bar_chart, heatmap, line_chart
+from repro.analysis.report import (
+    arith_mean,
+    format_table,
+    geomean,
+    results_dir,
+    write_csv,
+)
+
+__all__ = [
+    "arith_mean",
+    "bar_chart",
+    "format_table",
+    "geomean",
+    "heatmap",
+    "line_chart",
+    "results_dir",
+    "write_csv",
+]

@@ -1,0 +1,96 @@
+"""Terminal charts for regenerating the paper's figures as text.
+
+The benchmark harness has no plotting stack, so figures are rendered as
+aligned ASCII bar and line charts — enough to eyeball the shapes the
+paper reports (who wins, by what factor, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def bar_chart(labels: Sequence[str], series: dict[str, Sequence[float]],
+              width: int = 50, log: bool = False,
+              title: str | None = None) -> str:
+    """Grouped horizontal bars: one group per label, one bar per series."""
+    all_vals = [v for vals in series.values() for v in vals if v > 0]
+    if not all_vals:
+        return title or ""
+    vmax = max(all_vals)
+    vmin = min(all_vals)
+    lines = [title] if title else []
+    label_w = max(len(l) for l in labels)
+    name_w = max(len(n) for n in series)
+    for i, label in enumerate(labels):
+        for name, vals in series.items():
+            value = vals[i]
+            lines.append(
+                f"{label.rjust(label_w)} {name.ljust(name_w)} "
+                f"|{_bar(value, vmin, vmax, width, log)} {value:.2f}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def _bar(value: float, vmin: float, vmax: float, width: int, log: bool) -> str:
+    if value <= 0:
+        return ""
+    if log:
+        lo, hi = math.log10(max(vmin, 1e-12)), math.log10(vmax)
+        frac = 1.0 if hi == lo else (math.log10(value) - lo) / (hi - lo)
+        frac = max(0.02, frac)
+    else:
+        frac = value / vmax
+    return "#" * max(1, int(round(frac * width)))
+
+
+def line_chart(xs: Sequence[float], series: dict[str, Sequence[float]],
+               height: int = 16, width: int = 70,
+               title: str | None = None, ylabel: str = "") -> str:
+    """Plot y-series against x on a character grid (Figure 8 style)."""
+    all_y = [y for ys in series.values() for y in ys]
+    if not all_y:
+        return title or ""
+    ymax = max(all_y) * 1.05
+    ymin = 0.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@"
+    for s_idx, (name, ys) in enumerate(series.items()):
+        marker = markers[s_idx % len(markers)]
+        for i, y in enumerate(ys):
+            col = int(i / max(1, len(xs) - 1) * (width - 1))
+            row = height - 1 - int((y - ymin) / (ymax - ymin) * (height - 1))
+            row = min(height - 1, max(0, row))
+            grid[row][col] = marker
+    lines = [title] if title else []
+    for r, row in enumerate(grid):
+        y_val = ymax - r * (ymax - ymin) / (height - 1)
+        lines.append(f"{y_val:8.1f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series))
+    lines.append(" " * 10 + legend)
+    if ylabel:
+        lines.append(f"(y: {ylabel}; x: {xs[0]} .. {xs[-1]})")
+    return "\n".join(lines)
+
+
+def heatmap(grid: Sequence[Sequence[float]], title: str | None = None,
+            vmin: float | None = None, vmax: float | None = None) -> str:
+    """Render a 2D value grid with density characters (Figure 12 style)."""
+    flat = [v for row in grid for v in row]
+    if not flat:
+        return title or ""
+    lo = vmin if vmin is not None else min(flat)
+    hi = vmax if vmax is not None else max(flat)
+    ramp = " .:-=+*#%@"
+    lines = [title] if title else []
+    for row in grid:
+        chars = []
+        for v in row:
+            frac = 0.0 if hi == lo else (v - lo) / (hi - lo)
+            chars.append(ramp[min(len(ramp) - 1, int(frac * (len(ramp) - 1)))])
+        lines.append("".join(chars))
+    lines.append(f"scale: '{ramp[0]}'={lo:.2f} .. '{ramp[-1]}'={hi:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Baseline evaluation platforms the paper compares against."""
+
+from repro.baselines.ramulator import BaselineResult, RamulatorConfig, RamulatorSim
+
+__all__ = ["BaselineResult", "RamulatorConfig", "RamulatorSim"]

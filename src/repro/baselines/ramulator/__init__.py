@@ -1,0 +1,23 @@
+"""Cycle-level baseline simulator ("Ramulator 2.0"-like comparator)."""
+
+from repro.baselines.ramulator.controller import (
+    ControllerStats,
+    FrFcfsController,
+    MemRequest,
+)
+from repro.baselines.ramulator.dram_model import BankFSM, DramTimingModel
+from repro.baselines.ramulator.frontend import CoreFrontend, FrontendStats
+from repro.baselines.ramulator.sim import BaselineResult, RamulatorConfig, RamulatorSim
+
+__all__ = [
+    "BankFSM",
+    "BaselineResult",
+    "ControllerStats",
+    "CoreFrontend",
+    "DramTimingModel",
+    "FrFcfsController",
+    "FrontendStats",
+    "MemRequest",
+    "RamulatorConfig",
+    "RamulatorSim",
+]

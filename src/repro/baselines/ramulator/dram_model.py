@@ -1,0 +1,162 @@
+"""Cycle-level DDR4 timing model for the baseline simulator.
+
+The baseline ("Ramulator 2.0"-like) models DRAM with per-bank state
+machines and next-allowed-cycle bookkeeping, ticked at the memory clock.
+It reuses the repository's JEDEC timing parameters but none of the
+event-driven emulation machinery — it is an independent, deliberately
+conventional cycle-level implementation, which is exactly what the paper
+compares EasyDRAM against (including its lower simulation speed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.address import Geometry
+from repro.dram.timing import TimingParams
+
+
+def _cyc(ps: int, tck: int) -> int:
+    """Picoseconds -> whole memory-clock cycles (rounded up)."""
+    return -(-ps // tck)
+
+
+@dataclass
+class BankFSM:
+    """Per-bank row state and earliest-next-command cycles."""
+
+    open_row: int | None = None
+    next_act: int = 0
+    next_pre: int = 0
+    next_rd: int = 0
+    next_wr: int = 0
+
+
+@dataclass
+class DramTimingModel:
+    """Next-allowed-cycle tables over all banks of one rank."""
+
+    timing: TimingParams
+    geometry: Geometry
+    banks: list[BankFSM] = field(default_factory=list)
+    next_ref: int = 0
+    ref_deadline: int = 0
+    #: Sliding window of recent ACT cycles (tFAW).
+    recent_acts: list[int] = field(default_factory=list)
+    #: Rank-level CAS gating (tCCD / bus turnaround).
+    next_rd_any: int = 0
+    next_wr_any: int = 0
+    acts: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.banks:
+            self.banks = [BankFSM() for _ in range(self.geometry.num_banks)]
+        t = self.timing
+        tck = t.tCK
+        self.c_rcd = _cyc(t.tRCD, tck)
+        self.c_rp = _cyc(t.tRP, tck)
+        self.c_ras = _cyc(t.tRAS, tck)
+        self.c_rc = _cyc(t.tRC, tck)
+        self.c_cl = _cyc(t.tCL, tck)
+        self.c_cwl = _cyc(t.tCWL, tck)
+        self.c_bl = _cyc(t.tBL, tck)
+        self.c_rtp = _cyc(t.tRTP, tck)
+        self.c_wr = _cyc(t.tWR, tck)
+        self.c_wtr = _cyc(t.tWTR, tck)
+        self.c_ccd = _cyc(t.tCCD_L, tck)
+        self.c_rrd = _cyc(t.tRRD_L, tck)
+        self.c_faw = _cyc(t.tFAW, tck)
+        self.c_rfc = _cyc(t.tRFC, tck)
+        self.c_refi = _cyc(t.tREFI, tck)
+        self.ref_deadline = self.c_refi
+
+    # -- command legality ----------------------------------------------------
+
+    def can_activate(self, bank: int, now: int) -> bool:
+        fsm = self.banks[bank]
+        if fsm.open_row is not None or now < fsm.next_act:
+            return False
+        if len(self.recent_acts) >= 4 and now < self.recent_acts[-4] + self.c_faw:
+            return False
+        return True
+
+    def can_precharge(self, bank: int, now: int) -> bool:
+        fsm = self.banks[bank]
+        return fsm.open_row is not None and now >= fsm.next_pre
+
+    def can_read(self, bank: int, row: int, now: int) -> bool:
+        fsm = self.banks[bank]
+        return (fsm.open_row == row and now >= fsm.next_rd
+                and now >= self.next_rd_any)
+
+    def can_write(self, bank: int, row: int, now: int) -> bool:
+        fsm = self.banks[bank]
+        return (fsm.open_row == row and now >= fsm.next_wr
+                and now >= self.next_wr_any)
+
+    # -- command effects -------------------------------------------------------
+
+    def activate(self, bank: int, row: int, now: int) -> None:
+        fsm = self.banks[bank]
+        fsm.open_row = row
+        fsm.next_pre = now + self.c_ras
+        fsm.next_rd = now + self.c_rcd
+        fsm.next_wr = now + self.c_rcd
+        fsm.next_act = now + self.c_rc
+        self.recent_acts.append(now)
+        if len(self.recent_acts) > 8:
+            del self.recent_acts[:4]
+        for other_bank, other in enumerate(self.banks):
+            if other_bank != bank:
+                other.next_act = max(other.next_act, now + self.c_rrd)
+        self.acts += 1
+
+    def activate_with_trcd_cycles(self, bank: int, row: int, now: int,
+                                  trcd_cycles: int) -> None:
+        """Activate using a (possibly reduced) tRCD (Figure 13 baseline)."""
+        self.activate(bank, row, now)
+        fsm = self.banks[bank]
+        fsm.next_rd = now + trcd_cycles
+        fsm.next_wr = now + trcd_cycles
+
+    def precharge(self, bank: int, now: int) -> None:
+        fsm = self.banks[bank]
+        fsm.open_row = None
+        fsm.next_act = max(fsm.next_act, now + self.c_rp)
+
+    def read(self, bank: int, now: int) -> int:
+        """Issue RD; returns the cycle the data burst completes."""
+        fsm = self.banks[bank]
+        fsm.next_pre = max(fsm.next_pre, now + self.c_rtp)
+        self.next_rd_any = now + self.c_ccd
+        # Read-to-write turnaround: the write burst must not collide.
+        self.next_wr_any = max(self.next_wr_any,
+                               now + self.c_cl + self.c_bl - self.c_cwl + 1)
+        return now + self.c_cl + self.c_bl
+
+    def write(self, bank: int, now: int) -> int:
+        fsm = self.banks[bank]
+        data_end = now + self.c_cwl + self.c_bl
+        fsm.next_pre = max(fsm.next_pre, data_end + self.c_wr)
+        self.next_wr_any = now + self.c_ccd
+        self.next_rd_any = max(self.next_rd_any, data_end + self.c_wtr)
+        return data_end
+
+    # -- refresh -------------------------------------------------------------
+
+    def refresh_due(self, now: int) -> bool:
+        return now >= self.ref_deadline
+
+    def all_banks_closed(self) -> bool:
+        return all(b.open_row is None for b in self.banks)
+
+    def refresh(self, now: int) -> int:
+        """Perform REF (banks must be closed); returns completion cycle."""
+        done = now + self.c_rfc
+        for fsm in self.banks:
+            fsm.next_act = max(fsm.next_act, done)
+        self.ref_deadline += self.c_refi
+        return done

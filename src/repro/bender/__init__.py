@@ -1,0 +1,30 @@
+"""DRAM Bender substrate: ISA, program builder, buffers, and the engine.
+
+EasyDRAM reuses DRAM Bender to execute DRAM command batches with exact
+timing (Section 4.2).  This package is our model of that sequencer; the
+software memory controller interacts with it only through
+:class:`~repro.bender.program.BenderProgram` and
+:class:`~repro.bender.engine.BenderEngine`.
+"""
+
+from repro.bender.buffers import BufferOverflow, CommandBuffer, ReadbackBuffer
+from repro.bender.engine import BenderEngine, ExecResult, ProgramError
+from repro.bender.isa import Instruction, Opcode, ddr, end, loop_begin, loop_end, wait
+from repro.bender.program import BenderProgram
+
+__all__ = [
+    "BenderEngine",
+    "BenderProgram",
+    "BufferOverflow",
+    "CommandBuffer",
+    "ExecResult",
+    "Instruction",
+    "Opcode",
+    "ProgramError",
+    "ReadbackBuffer",
+    "ddr",
+    "end",
+    "loop_begin",
+    "loop_end",
+    "wait",
+]

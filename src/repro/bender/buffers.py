@@ -1,0 +1,83 @@
+"""EasyTile hardware buffers around DRAM Bender.
+
+The paper's EasyTile (Section 5.1) places a *command buffer* between the
+programmable core and DRAM Bender — DRAM commands accumulate there and
+execute as a timing-preserving batch — and a *readback buffer* that holds
+data returned by RD commands until the core consumes it.
+
+Both are modeled as bounded FIFOs; capacity limits matter because the
+software memory controller must flush before overflowing, which is a
+real constraint users of the platform hit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.bender.isa import Instruction
+
+
+class BufferOverflow(Exception):
+    """A bounded hardware buffer was pushed beyond its capacity."""
+
+
+@dataclass
+class CommandBuffer:
+    """Bounded staging FIFO for Bender instructions (EasyTile part 7)."""
+
+    capacity: int = 8192
+    _items: deque = field(default_factory=deque)
+
+    def push(self, instruction: Instruction) -> None:
+        if len(self._items) >= self.capacity:
+            raise BufferOverflow(
+                f"command buffer full ({self.capacity} instructions);"
+                " flush_commands() before queueing more")
+        self._items.append(instruction)
+
+    def drain(self) -> list[Instruction]:
+        """Remove and return all staged instructions in order."""
+        out = list(self._items)
+        self._items.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+
+@dataclass
+class ReadbackBuffer:
+    """Bounded FIFO of cache lines returned by RD commands (part 8)."""
+
+    capacity: int = 4096
+    _lines: deque = field(default_factory=deque)
+
+    def push(self, line: bytes, reliable: bool) -> None:
+        if len(self._lines) >= self.capacity:
+            raise BufferOverflow(
+                f"readback buffer full ({self.capacity} lines)")
+        self._lines.append((line, reliable))
+
+    def pop(self) -> tuple[bytes, bool]:
+        if not self._lines:
+            raise IndexError("readback buffer is empty")
+        return self._lines.popleft()
+
+    def pop_line(self) -> bytes:
+        """Pop and return only the data (common case)."""
+        return self.pop()[0]
+
+    def clear(self) -> None:
+        self._lines.clear()
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    @property
+    def empty(self) -> bool:
+        return not self._lines

@@ -1,0 +1,125 @@
+"""Cycle-exact Bender program execution.
+
+The engine is the model of DRAM Bender's sequencer: it walks a program
+instruction by instruction, issuing each DDR command to the device on an
+interface clock edge and honouring WAITs exactly as programmed.  It
+returns what the real platform returns to the software memory controller:
+the captured read data and *the number of cycles the execution took* —
+the quantity time scaling converts into emulated processor cycles
+(Figure 5, step 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bender.buffers import ReadbackBuffer
+from repro.bender.isa import Instruction, Opcode
+from repro.bender.program import BenderProgram
+from repro.dram.commands import CommandKind
+from repro.dram.device import DramDevice
+
+
+@dataclass
+class ExecResult:
+    """What DRAM Bender reports back after running a program."""
+
+    elapsed_ps: int
+    interface_cycles: int
+    reads: int
+    commands_issued: int
+    #: Lines captured by RD commands, in program order.
+    readback: list[bytes] = field(default_factory=list)
+    #: Reliability flag per readback line (False = cell model corrupted it).
+    reliable: list[bool] = field(default_factory=list)
+
+    @property
+    def all_reliable(self) -> bool:
+        return all(self.reliable)
+
+
+class ProgramError(Exception):
+    """Malformed Bender program (bad loop nesting, missing END, ...)."""
+
+
+class BenderEngine:
+    """Executes Bender programs against a :class:`DramDevice`."""
+
+    #: Safety valve against runaway programs in user controllers.
+    MAX_DYNAMIC_INSTRUCTIONS = 50_000_000
+
+    def __init__(self, device: DramDevice,
+                 readback: ReadbackBuffer | None = None) -> None:
+        self.device = device
+        self.readback = readback if readback is not None else ReadbackBuffer()
+        self.programs_run = 0
+        self.total_interface_cycles = 0
+
+    def execute(self, program: BenderProgram, start_ps: int = 0) -> ExecResult:
+        """Run ``program`` starting at absolute device time ``start_ps``."""
+        instructions = program.instructions
+        if not instructions:
+            return ExecResult(0, 0, 0, 0)
+        tck = self.device.timing.tCK
+        time_ps = start_ps
+        pc = 0
+        # Loop stack holds (begin_pc, remaining_iterations).
+        loop_stack: list[tuple[int, int]] = []
+        readback: list[bytes] = []
+        reliable: list[bool] = []
+        commands = 0
+        reads = 0
+        executed = 0
+        n = len(instructions)
+        while pc < n:
+            executed += 1
+            if executed > self.MAX_DYNAMIC_INSTRUCTIONS:
+                raise ProgramError(
+                    "program exceeded the dynamic instruction limit"
+                    f" ({self.MAX_DYNAMIC_INSTRUCTIONS}); missing END or"
+                    " a runaway loop?")
+            ins = instructions[pc]
+            if ins.opcode is Opcode.DDR:
+                assert ins.command is not None
+                result = self.device.issue(ins.command, time_ps)
+                commands += 1
+                if ins.command.kind is CommandKind.RD:
+                    assert result is not None
+                    reads += 1
+                    readback.append(result.data)
+                    reliable.append(result.reliable)
+                    self.readback.push(result.data, result.reliable)
+                time_ps += tck
+            elif ins.opcode is Opcode.WAIT:
+                time_ps += ins.operand * tck
+            elif ins.opcode is Opcode.LOOP_BEGIN:
+                loop_stack.append((pc, ins.operand))
+            elif ins.opcode is Opcode.LOOP_END:
+                if not loop_stack:
+                    raise ProgramError(f"LOOP_END without LOOP_BEGIN at pc={pc}")
+                begin_pc, remaining = loop_stack[-1]
+                remaining -= 1
+                if remaining > 0:
+                    loop_stack[-1] = (begin_pc, remaining)
+                    pc = begin_pc  # will +1 below, landing on loop body
+                else:
+                    loop_stack.pop()
+            elif ins.opcode is Opcode.END:
+                break
+            pc += 1
+        else:
+            raise ProgramError("program ran off the end without END")
+        if loop_stack:
+            raise ProgramError("program ended with an unclosed loop")
+        elapsed = time_ps - start_ps
+        cycles = -(-elapsed // tck) if elapsed else 0
+        self.programs_run += 1
+        self.total_interface_cycles += cycles
+        return ExecResult(
+            elapsed_ps=elapsed,
+            interface_cycles=cycles,
+            reads=reads,
+            commands_issued=commands,
+            readback=readback,
+            reliable=reliable,
+        )

@@ -1,0 +1,96 @@
+"""DRAM Bender instruction set.
+
+DRAM Bender (Olgun et al., TCAD 2023) is the FPGA command sequencer that
+EasyDRAM reuses to issue DRAM commands with cycle-exact spacing.  The
+software memory controller never touches the DDRx interface directly: it
+assembles a *program* of Bender instructions and hands it to the engine.
+
+The subset modeled here covers everything the paper's case studies need:
+
+``DDR``    issue one DRAM command (ACT/PRE/RD/WR/REF/...);
+``WAIT``   idle a number of DRAM interface cycles;
+``LOOP``   repeat a block a fixed number of times (used by clonability
+           testing and characterization sweeps);
+``END``    terminate the program.
+
+Read data is captured automatically into the readback buffer, mirroring
+the real platform's behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dram.commands import Command
+
+
+class Opcode(enum.Enum):
+    """Bender instruction opcodes."""
+
+    DDR = "DDR"
+    WAIT = "WAIT"
+    LOOP_BEGIN = "LOOP_BEGIN"
+    LOOP_END = "LOOP_END"
+    END = "END"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class Instruction:
+    """One Bender instruction.
+
+    * ``DDR``: ``command`` holds the DRAM command to issue.
+    * ``WAIT``: ``operand`` holds the number of DRAM interface cycles.
+    * ``LOOP_BEGIN``: ``operand`` holds the iteration count.
+    * ``LOOP_END`` / ``END``: no operands.
+    """
+
+    opcode: Opcode
+    command: Command | None = None
+    operand: int = 0
+
+    def __post_init__(self) -> None:
+        if self.opcode is Opcode.DDR and self.command is None:
+            raise ValueError("DDR instruction requires a command")
+        if self.opcode is Opcode.WAIT and self.operand < 0:
+            raise ValueError("WAIT cycles must be non-negative")
+        if self.opcode is Opcode.LOOP_BEGIN and self.operand < 1:
+            raise ValueError("LOOP iteration count must be >= 1")
+
+    def short(self) -> str:
+        """Compact disassembly, used in logs and test assertions."""
+        if self.opcode is Opcode.DDR:
+            assert self.command is not None
+            return f"DDR {self.command.short()}"
+        if self.opcode is Opcode.WAIT:
+            return f"WAIT {self.operand}"
+        if self.opcode is Opcode.LOOP_BEGIN:
+            return f"LOOP {self.operand} {{"
+        if self.opcode is Opcode.LOOP_END:
+            return "}"
+        return "END"
+
+
+def ddr(command: Command) -> Instruction:
+    """Build a DDR (issue-command) instruction."""
+    return Instruction(Opcode.DDR, command=command)
+
+
+def wait(cycles: int) -> Instruction:
+    """Build a WAIT instruction (DRAM interface cycles)."""
+    return Instruction(Opcode.WAIT, operand=cycles)
+
+
+def loop_begin(count: int) -> Instruction:
+    return Instruction(Opcode.LOOP_BEGIN, operand=count)
+
+
+def loop_end() -> Instruction:
+    return Instruction(Opcode.LOOP_END)
+
+
+def end() -> Instruction:
+    return Instruction(Opcode.END)

@@ -1,0 +1,115 @@
+"""Bender program builder.
+
+:class:`BenderProgram` is a convenience assembler over the instruction
+set: EasyAPI calls like ``ddr_activate()`` append to a program under
+construction, and ``flush_commands()`` ships the finished program to the
+engine.  Waits are expressed in picoseconds by the caller and converted
+to DRAM interface cycles here (rounded up — commands can only be issued
+on clock edges, which is exactly what the real sequencer does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bender import isa
+from repro.bender.isa import Instruction, Opcode
+from repro.dram.commands import Command, CommandKind
+from repro.dram.timing import TimingParams
+
+
+@dataclass
+class BenderProgram:
+    """A mutable sequence of Bender instructions."""
+
+    timing: TimingParams
+    instructions: list[Instruction] = field(default_factory=list)
+    _loop_depth: int = 0
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    # -- raw appends ----------------------------------------------------------
+
+    def emit(self, instruction: Instruction) -> "BenderProgram":
+        self.instructions.append(instruction)
+        return self
+
+    def command(self, cmd: Command) -> "BenderProgram":
+        return self.emit(isa.ddr(cmd))
+
+    def wait_cycles(self, cycles: int) -> "BenderProgram":
+        if cycles > 0:
+            self.emit(isa.wait(cycles))
+        return self
+
+    def wait_ps(self, duration_ps: int) -> "BenderProgram":
+        """Wait at least ``duration_ps`` (rounded up to interface cycles)."""
+        if duration_ps <= 0:
+            return self
+        cycles = -(-duration_ps // self.timing.tCK)
+        return self.wait_cycles(cycles)
+
+    # -- structured helpers -----------------------------------------------------
+
+    def activate(self, bank: int, row: int) -> "BenderProgram":
+        return self.command(Command(CommandKind.ACT, bank=bank, row=row))
+
+    def precharge(self, bank: int) -> "BenderProgram":
+        return self.command(Command(CommandKind.PRE, bank=bank))
+
+    def precharge_all(self) -> "BenderProgram":
+        return self.command(Command(CommandKind.PREA))
+
+    def read(self, bank: int, col: int) -> "BenderProgram":
+        return self.command(Command(CommandKind.RD, bank=bank, col=col))
+
+    def write(self, bank: int, col: int, data: bytes | None = None) -> "BenderProgram":
+        return self.command(Command(CommandKind.WR, bank=bank, col=col, data=data))
+
+    def refresh(self) -> "BenderProgram":
+        return self.command(Command(CommandKind.REF))
+
+    def loop(self, count: int) -> "BenderProgram":
+        self._loop_depth += 1
+        return self.emit(isa.loop_begin(count))
+
+    def end_loop(self) -> "BenderProgram":
+        if self._loop_depth == 0:
+            raise ValueError("end_loop() without a matching loop()")
+        self._loop_depth -= 1
+        return self.emit(isa.loop_end())
+
+    def finish(self) -> "BenderProgram":
+        """Seal the program with END; validates loop nesting."""
+        if self._loop_depth != 0:
+            raise ValueError(f"{self._loop_depth} unclosed loop(s)")
+        if not self.instructions or self.instructions[-1].opcode is not Opcode.END:
+            self.emit(isa.end())
+        return self
+
+    # -- inspection -----------------------------------------------------------
+
+    def reads(self) -> int:
+        """Static count of RD instructions (one iteration of loops)."""
+        return sum(
+            1 for ins in self.instructions
+            if ins.opcode is Opcode.DDR
+            and ins.command is not None
+            and ins.command.kind is CommandKind.RD)
+
+    def disassemble(self) -> str:
+        """Human-readable listing (used by the quickstart example)."""
+        lines = []
+        indent = 0
+        for ins in self.instructions:
+            if ins.opcode is Opcode.LOOP_END:
+                indent = max(0, indent - 1)
+            lines.append("  " * indent + ins.short())
+            if ins.opcode is Opcode.LOOP_BEGIN:
+                indent += 1
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.instructions.clear()
+        self._loop_depth = 0

@@ -1,0 +1,213 @@
+"""System configurations and the presets used by the paper's evaluation.
+
+A :class:`SystemConfig` fully describes one emulated system: processor
+domain, memory-controller domain, cache hierarchy, DRAM timing/geometry,
+bus latencies, and controller behaviour.  Four presets reproduce the
+configurations of the paper:
+
+``jetson_nano_time_scaling``
+    EasyDRAM - Time Scaling: a BOOM core time-scaled to mirror the
+    1.43 GHz Cortex A57 of the NVIDIA Jetson Nano, 32 KiB L1D, 512 KiB
+    8-way L2, DDR4-1333 (Sections 6-8).
+``pidram_no_time_scaling``
+    EasyDRAM - No Time Scaling: the PiDRAM-like system (simple in-order
+    50 MHz core, software memory controller fully exposed).
+``validation_reference``
+    Section 6's RTL reference: every component natively at 1 GHz with the
+    memory controller in hardware (no time scaling needed).
+``validation_time_scaled``
+    Section 6's EasyDRAM under test: a 100 MHz FPGA processor time-scaled
+    to 1 GHz; must match the reference within <0.1 % on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.timescale import ClockDomain
+from repro.cpu.processor import ProcessorConfig
+from repro.dram.address import Geometry
+from repro.dram.cells import CellModelConfig
+from repro.dram.timing import TimingParams, ddr4_1333, ns
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level's parameters."""
+
+    size_bytes: int
+    assoc: int
+    hit_latency: int
+    line_bytes: int = 64
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Software-memory-controller behaviour and cost parameters.
+
+    ``pipelined_occupancy_cycles`` models how the *emulated* controller
+    overlaps successive requests: the Section 6 reference (an RTL
+    implementation of the same scheduling logic) accepts a new request
+    every few cycles even though each request's scheduling *latency* is
+    the full software path.  "No Time Scaling" configurations set it to
+    0, which serializes the full software cost between requests — the
+    exact pathology Figure 2 illustrates.
+    """
+
+    scheduler: str = "fr-fcfs"          # or "fcfs"
+    pipelined_occupancy_cycles: int = 4
+    #: Request/response path between the memory bus and EasyTile buffers,
+    #: in memory-controller cycles.
+    request_bus_cycles: int = 4
+    response_bus_cycles: int = 4
+    refresh_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in ("fr-fcfs", "fcfs"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of one emulated EasyDRAM system."""
+
+    name: str
+    processor_domain: ClockDomain
+    controller_domain: ClockDomain
+    #: DRAM Bender's FPGA clock; real durations are measured on this grid.
+    bender_domain: ClockDomain
+    processor: ProcessorConfig
+    l1: CacheConfig
+    l2: CacheConfig
+    timing: TimingParams = field(default_factory=ddr4_1333)
+    geometry: Geometry = field(default_factory=Geometry)
+    cells: CellModelConfig = field(default_factory=CellModelConfig)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    mapping_scheme: str = "row-bank-col-skew"
+
+    @property
+    def time_scaling_enabled(self) -> bool:
+        return (self.processor_domain.scaling_active
+                or self.controller_domain.scaling_active)
+
+    def with_overrides(self, **kwargs) -> "SystemConfig":
+        """Functional update helper for experiment sweeps."""
+        return replace(self, **kwargs)
+
+
+def _bender_domain(fpga_hz: float = 333e6) -> ClockDomain:
+    """DRAM Bender's sequencer clock (DDR4-1333 bus clock / 2)."""
+    return ClockDomain("bender", fpga_freq_hz=fpga_hz, emulated_freq_hz=fpga_hz)
+
+
+def jetson_nano_time_scaling(**overrides) -> SystemConfig:
+    """EasyDRAM - Time Scaling, mirroring the Jetson Nano's Cortex A57."""
+    cfg = SystemConfig(
+        name="EasyDRAM-TimeScaling",
+        processor_domain=ClockDomain("processor", 100e6, 1.43e9),
+        controller_domain=ClockDomain("controller", 100e6, 1.0e9),
+        bender_domain=_bender_domain(),
+        processor=ProcessorConfig(
+            name="A57-like", emulated_freq_hz=1.43e9, fpga_freq_hz=100e6,
+            mlp=16, miss_window=96),
+        l1=CacheConfig(size_bytes=32 * 1024, assoc=2, hit_latency=2),
+        l2=CacheConfig(size_bytes=512 * 1024, assoc=8, hit_latency=12),
+    )
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
+def cortex_a57_reference(**overrides) -> SystemConfig:
+    """The real Jetson Nano board (Figure 8's 'Cortex A57' line).
+
+    Same system as :func:`jetson_nano_time_scaling` but with a 2 MiB L2
+    (the paper notes EasyDRAM's L2 is 512 KiB vs the board's 2 MiB) and
+    native clocks (a real board needs no time scaling).
+    """
+    cfg = SystemConfig(
+        name="Cortex-A57",
+        processor_domain=ClockDomain("processor", 1.43e9, 1.43e9),
+        controller_domain=ClockDomain("controller", 1.0e9, 1.0e9),
+        bender_domain=_bender_domain(1.0e9),
+        processor=ProcessorConfig(
+            name="A57", emulated_freq_hz=1.43e9, fpga_freq_hz=1.43e9,
+            mlp=16, miss_window=96),
+        l1=CacheConfig(size_bytes=32 * 1024, assoc=2, hit_latency=2),
+        l2=CacheConfig(size_bytes=2 * 1024 * 1024, assoc=16, hit_latency=14),
+    )
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
+def pidram_no_time_scaling(**overrides) -> SystemConfig:
+    """EasyDRAM - No Time Scaling: the PiDRAM-like evaluation system.
+
+    A simple in-order core at 50 MHz; the software memory controller's
+    full cost (at its 100 MHz FPGA clock) is exposed to the evaluation,
+    and requests are fully serialized in the controller.
+    """
+    cfg = SystemConfig(
+        name="EasyDRAM-NoTimeScaling",
+        processor_domain=ClockDomain("processor", 50e6, 50e6),
+        controller_domain=ClockDomain("controller", 100e6, 100e6),
+        bender_domain=_bender_domain(),
+        processor=ProcessorConfig(
+            name="in-order-50MHz", emulated_freq_hz=50e6, fpga_freq_hz=50e6,
+            mlp=1, miss_window=1),
+        l1=CacheConfig(size_bytes=16 * 1024, assoc=2, hit_latency=1),
+        l2=CacheConfig(size_bytes=512 * 1024, assoc=8, hit_latency=8),
+        controller=ControllerConfig(pipelined_occupancy_cycles=0),
+    )
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
+def validation_reference(**overrides) -> SystemConfig:
+    """Section 6's RTL reference: everything natively at 1 GHz."""
+    cfg = SystemConfig(
+        name="Validation-Reference-1GHz",
+        processor_domain=ClockDomain("processor", 1.0e9, 1.0e9),
+        controller_domain=ClockDomain("controller", 1.0e9, 1.0e9),
+        bender_domain=_bender_domain(1.0e9),
+        processor=ProcessorConfig(
+            name="ref-1GHz", emulated_freq_hz=1.0e9, fpga_freq_hz=1.0e9,
+            mlp=4, miss_window=32),
+        l1=CacheConfig(size_bytes=32 * 1024, assoc=4, hit_latency=2),
+        l2=CacheConfig(size_bytes=512 * 1024, assoc=8, hit_latency=12),
+    )
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
+def validation_time_scaled(**overrides) -> SystemConfig:
+    """Section 6's device under test: 100 MHz FPGA core scaled to 1 GHz."""
+    ref = validation_reference()
+    cfg = ref.with_overrides(
+        name="Validation-TimeScaled-100MHz-to-1GHz",
+        processor_domain=ClockDomain("processor", 100e6, 1.0e9),
+        controller_domain=ClockDomain("controller", 100e6, 1.0e9),
+        # DRAM Bender measures elapsed time at the DDR4-1333 command
+        # clock (666 MHz): the measurement grid is a property of the
+        # DRAM interface, not of the emulated processor clock.
+        bender_domain=_bender_domain(666e6),
+        processor=ProcessorConfig(
+            name="ts-100MHz-as-1GHz", emulated_freq_hz=1.0e9,
+            fpga_freq_hz=100e6, mlp=4, miss_window=32),
+    )
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
+PRESETS = {
+    "jetson-nano-ts": jetson_nano_time_scaling,
+    "cortex-a57": cortex_a57_reference,
+    "pidram-no-ts": pidram_no_time_scaling,
+    "validation-ref": validation_reference,
+    "validation-ts": validation_time_scaled,
+}
+
+
+def preset(preset_name: str, **overrides) -> SystemConfig:
+    """Look up a system preset by name (overrides apply on top)."""
+    try:
+        factory = PRESETS[preset_name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise KeyError(
+            f"unknown system preset {preset_name!r}; known: {known}") from None
+    return factory(**overrides)

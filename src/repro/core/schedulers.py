@@ -1,0 +1,99 @@
+"""Request schedulers for the software memory controller.
+
+The software library of EasyAPI (Table 2) ships FCFS and FR-FCFS
+scheduler implementations.  Schedulers select the next request from the
+software request table given the current bank states; their *decision
+cost* in controller cycles is charged by the cost model so slower
+algorithms genuinely slow the controller down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.processor import MemoryRequest
+from repro.dram.address import DramAddress
+from repro.dram.bank import BankState
+
+
+@dataclass
+class TableEntry:
+    """A request decoded and parked in the software request table."""
+
+    request: MemoryRequest
+    dram: DramAddress
+    arrival_order: int
+
+    @property
+    def is_write(self) -> bool:
+        return self.request.is_writeback
+
+
+class Scheduler:
+    """Interface: pick the next table entry to service."""
+
+    name = "abstract"
+
+    def select(self, table: list[TableEntry],
+               banks: list[BankState]) -> TableEntry:
+        raise NotImplementedError
+
+    def decision_cost(self, table_len: int) -> int:
+        """Controller cycles the decision takes (charged by the cost model)."""
+        raise NotImplementedError
+
+
+class FCFS(Scheduler):
+    """First come, first serve: strictly oldest request first."""
+
+    name = "fcfs"
+
+    def select(self, table: list[TableEntry],
+               banks: list[BankState]) -> TableEntry:
+        if not table:
+            raise ValueError("cannot schedule from an empty request table")
+        return min(table, key=lambda e: e.arrival_order)
+
+    def decision_cost(self, table_len: int) -> int:
+        return 3 + table_len
+
+
+class FRFCFS(Scheduler):
+    """First ready, first come, first serve (Rixner et al.).
+
+    Row-buffer hits are prioritized over row misses; ties break by age.
+    This maximizes row-buffer locality and is the paper's default.
+    """
+
+    name = "fr-fcfs"
+
+    def select(self, table: list[TableEntry],
+               banks: list[BankState]) -> TableEntry:
+        if not table:
+            raise ValueError("cannot schedule from an empty request table")
+        best: TableEntry | None = None
+        best_key: tuple[int, int, int] | None = None
+        for entry in table:
+            bank = banks[entry.dram.bank]
+            row_hit = bank.open_row == entry.dram.row
+            # Reads (fills) are latency-critical; writebacks are posted,
+            # so they drain behind reads (standard write deprioritization).
+            key = (1 if entry.is_write else 0,
+                   0 if row_hit else 1, entry.arrival_order)
+            if best_key is None or key < best_key:
+                best, best_key = entry, key
+        assert best is not None
+        return best
+
+    def decision_cost(self, table_len: int) -> int:
+        # Scanning the table for row hits costs a couple of cycles/entry.
+        return 4 + 2 * table_len
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Factory used by the controller config."""
+    if name == "fcfs":
+        return FCFS()
+    if name == "fr-fcfs":
+        return FRFCFS()
+    raise ValueError(f"unknown scheduler {name!r}")

@@ -1,0 +1,269 @@
+"""The software memory controller (SMC) framework.
+
+:class:`SoftwareMemoryController` implements the service loop of
+Figure 6: check for new requests, enter critical mode, transfer requests
+into the software request table, make scheduling decisions, execute DRAM
+command batches through Bender, tag responses with the processor-cycle
+value at which they may be consumed, and advance the time-scaling
+counters.
+
+Timeline model
+--------------
+
+All bookkeeping runs on the *emulated* time axis (picoseconds of the
+modeled system).  Two cursors track the controller:
+
+``sched_cursor``
+    when the controller front-end can start working on the next request;
+``dram_cursor``
+    when the DRAM interface is free (Bender programs execute back to
+    back on a real chip, so device time is strictly monotonic).
+
+A request's *latency* always includes the full software scheduling path;
+its *occupancy* (how soon the next request can start) depends on the
+configuration: pipelined controllers (the modeled hardware of a time-
+scaled system) accept a new request every few cycles, while a bare
+software controller ("No Time Scaling") serializes everything — the
+pathology of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bender.engine import ExecResult
+from repro.bender.program import BenderProgram
+from repro.core.config import SystemConfig
+from repro.core.easyapi import EasyAPI, ProgramExecutor
+from repro.core.schedulers import Scheduler, TableEntry, make_scheduler
+from repro.core.tile import EasyTile
+from repro.core.timescale import TimeScalingCounters
+from repro.cpu.processor import MemoryRequest
+from repro.dram.commands import CommandKind
+from repro.dram.timing import period_ps
+
+
+@dataclass
+class SmcStats:
+    """Controller-side counters."""
+
+    serviced_reads: int = 0
+    serviced_writes: int = 0
+    refreshes: int = 0
+    technique_ops: int = 0
+    total_sched_cycles: int = 0
+    batches_executed: int = 0
+
+
+class SoftwareMemoryController(ProgramExecutor):
+    """Conventional open-page controller; techniques subclass or hook it."""
+
+    def __init__(self, config: SystemConfig, tile: EasyTile, api: EasyAPI,
+                 counters: TimeScalingCounters,
+                 scheduler: Scheduler | None = None) -> None:
+        self.config = config
+        self.tile = tile
+        self.api = api
+        self.api.executor = self
+        self.counters = counters
+        self.scheduler = scheduler or make_scheduler(config.controller.scheduler)
+        self.stats = SmcStats()
+        self.table: list[TableEntry] = []
+        self._arrival_counter = 0
+        self.sched_cursor = 0          # emulated ps
+        self.dram_cursor = 0           # emulated ps
+        self._exec_anchor_ps = 0       # where the next flushed batch starts
+        self._next_refresh_ps = config.timing.tREFI
+        self._proc_period = period_ps(config.processor.emulated_freq_hz)
+        mcd = config.controller_domain
+        self._mc_period = mcd.emulated_period_ps
+        cc = config.controller
+        self._occupancy_ps = cc.pipelined_occupancy_cycles * self._mc_period
+        self._pipelined = cc.pipelined_occupancy_cycles > 0
+        self._req_bus_ps = cc.request_bus_cycles * self._mc_period
+        self._resp_bus_ps = cc.response_bus_cycles * self._mc_period
+        #: Technique hook: may replace the read/write staging for a request.
+        self.serve_hook = None
+
+    # -- ProgramExecutor --------------------------------------------------------
+
+    def execute_staged(self, program: BenderProgram,
+                       respect_timing: bool) -> ExecResult:
+        """Run a staged batch at the controller's current anchor time."""
+        start = max(self._exec_anchor_ps, self.dram_cursor)
+        if respect_timing:
+            start = max(start, self._earliest_legal(program))
+        result = self.tile.engine.execute(program, start_ps=start)
+        measured = self.config.bender_domain.measure_ps(result.elapsed_ps)
+        self.dram_cursor = start + measured
+        self.tile.stats.dram_busy_ps += measured
+        self.stats.batches_executed += 1
+        return result
+
+    def _earliest_legal(self, program: BenderProgram) -> int:
+        """Earliest legal time of the batch's first DRAM command."""
+        for ins in program.instructions:
+            if ins.command is not None:
+                device = self.tile.device
+                earliest, _ = device.checker.earliest_issue(
+                    ins.command, device.banks, device.rank)
+                return earliest
+        return 0
+
+    # -- request servicing (Fig 6 steps 4-10) --------------------------------------
+
+    def service_pending(self, requests: list[MemoryRequest]) -> None:
+        """Serve every pending request; sets each request's release."""
+        if not requests:
+            return
+        self.counters.enter_critical()
+        self.api.set_scheduling_state(True)
+        arrivals = sorted(requests, key=lambda r: r.tag)
+        now = max(self.sched_cursor,
+                  arrivals[0].tag * self._proc_period + self._req_bus_ps)
+        self.sched_cursor = now
+        while arrivals or self.table:
+            arrivals = self._transfer_arrivals(arrivals)
+            if not self.table:
+                # The remaining requests were issued later than the
+                # controller's current emulation point: wait for them.
+                next_arrival = (arrivals[0].tag * self._proc_period
+                                + self._req_bus_ps)
+                self.sched_cursor = max(self.sched_cursor, next_arrival)
+                continue
+            self._maybe_refresh()
+            self.api.charge(self.scheduler.decision_cost(len(self.table)))
+            entry = self.scheduler.select(self.table, self.tile.device.banks)
+            self.table.remove(entry)
+            self._serve(entry)
+        self.api.set_scheduling_state(False)
+        self._sync_mc_counter()
+        self.counters.exit_critical()
+
+    def _transfer_arrivals(self, arrivals: list[MemoryRequest]) -> list[MemoryRequest]:
+        """Move requests visible at the current point into the table.
+
+        Footnote 2: the controller observes every request the processors
+        created up to its own emulation point before deciding.
+        """
+        remaining: list[MemoryRequest] = []
+        for request in arrivals:
+            arrival_ps = request.tag * self._proc_period + self._req_bus_ps
+            if arrival_ps <= self.sched_cursor or not self.table:
+                self.tile.push_request(request)
+                received = self.api.get_request()
+                dram = self.api.get_addr_mapping(received.addr)
+                self.api.charge(self.api.costs.table_insert)
+                self.table.append(TableEntry(
+                    request=received, dram=dram,
+                    arrival_order=self._arrival_counter))
+                self._arrival_counter += 1
+                self.sched_cursor = max(self.sched_cursor, arrival_ps)
+            else:
+                remaining.append(request)
+        return remaining
+
+    def _serve(self, entry: TableEntry) -> None:
+        """Serve one request: stage, execute, tag the response."""
+        request = entry.request
+        sched_start = self.sched_cursor
+        self.tile.classify_row_access(entry.dram.bank, entry.dram.row)
+        # A store miss is a *line fill* — a DRAM read; the dirty data
+        # returns to DRAM later as a writeback.  Only writebacks issue WR.
+        is_dram_write = request.is_writeback
+        if self.serve_hook is not None:
+            self.serve_hook(self.api, entry)
+        elif is_dram_write:
+            self.api.write_sequence(entry.dram)
+        else:
+            self.api.read_sequence(entry.dram)
+        sched_cycles = self.api.take_charges()
+        self.stats.total_sched_cycles += sched_cycles
+        sched_ps = sched_cycles * self._mc_period
+        self.tile.stats.scheduling_ps += sched_ps
+        self._exec_anchor_ps = sched_start + sched_ps
+        result = self.api.flush_commands()
+        sched_ps += self.api.take_charges() * self._mc_period
+        dram_end = self.dram_cursor
+        release_ps = (dram_end + self.api.data_latency_ps(is_dram_write)
+                      + self._resp_bus_ps)
+        request.release = -(-release_ps // self._proc_period)
+        request.service_ps = dram_end - sched_start
+        if is_dram_write:
+            self.stats.serviced_writes += 1
+        else:
+            self.stats.serviced_reads += 1
+            # Drain the readback data the fill consumed.
+            for _ in range(result.reads):
+                self.api.rdback_cacheline()
+        self.api.charge(self.api.costs.enqueue_response)
+        self.api.take_charges()
+        self.tile.stats.responses_sent += 1
+        if self._pipelined:
+            self.sched_cursor = max(sched_start + self._occupancy_ps,
+                                    self.sched_cursor)
+        else:
+            self.sched_cursor = max(self.dram_cursor, sched_start + sched_ps)
+
+    # -- refresh -----------------------------------------------------------------
+
+    def _maybe_refresh(self) -> None:
+        """Issue any refreshes whose deadline passed (tREFI cadence)."""
+        if not self.config.controller.refresh_enabled:
+            return
+        while self._next_refresh_ps <= self.sched_cursor:
+            self.api.refresh_sequence()
+            self.api.take_charges()
+            self._exec_anchor_ps = max(self.sched_cursor, self._next_refresh_ps)
+            self.api.flush_commands()
+            self.api.take_charges()
+            self.stats.refreshes += 1
+            self.tile.stats.refreshes_issued += 1
+            self._next_refresh_ps += self.config.timing.tREFI
+            if not self._pipelined:
+                self.sched_cursor = max(self.sched_cursor, self.dram_cursor)
+
+    # -- technique episodes ---------------------------------------------------------
+
+    def technique_episode(self, stage, issue_cycle: int,
+                          respect_timing: bool = False) -> tuple[int, ExecResult]:
+        """Run a technique operation (e.g. one RowClone) as an episode.
+
+        ``stage`` is a callable that stages commands through the API.
+        ``issue_cycle`` is the processor cycle at which the processor
+        issued the technique request (memory-mapped register write).
+        Returns (release processor cycle, Bender result).
+        """
+        self.counters.enter_critical()
+        start = max(self.sched_cursor,
+                    issue_cycle * self._proc_period + self._req_bus_ps)
+        self.sched_cursor = start
+        self._maybe_refresh()
+        start = self.sched_cursor
+        stage(self.api)
+        sched_cycles = self.api.take_charges()
+        self.stats.total_sched_cycles += sched_cycles
+        sched_ps = sched_cycles * self._mc_period
+        self.tile.stats.scheduling_ps += sched_ps
+        self._exec_anchor_ps = start + sched_ps
+        result = self.api.flush_commands(respect_timing=respect_timing)
+        self.api.take_charges()
+        release_ps = self.dram_cursor + self._resp_bus_ps
+        release = -(-release_ps // self._proc_period)
+        self.stats.technique_ops += 1
+        self.tile.stats.technique_ops += 1
+        if self._pipelined:
+            self.sched_cursor = max(start + self._occupancy_ps, self.sched_cursor)
+        else:
+            self.sched_cursor = max(self.dram_cursor, start + sched_ps)
+        self._sync_mc_counter()
+        self.counters.exit_critical()
+        return release, result
+
+    # -- counters ---------------------------------------------------------------
+
+    def _sync_mc_counter(self) -> None:
+        point_ps = max(self.sched_cursor, self.dram_cursor)
+        cycle = point_ps // self._proc_period
+        if cycle > self.counters.memory_controller:
+            self.counters.advance_memory_controller(cycle)

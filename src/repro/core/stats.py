@@ -1,0 +1,96 @@
+"""Run results and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.cache import CacheStats
+from repro.dram.timing import PS_PER_S
+
+
+@dataclass
+class Breakdown:
+    """Where a run's emulated time went (Figure 2's categories)."""
+
+    processing_ps: int = 0    # compute + cache-hit time on the processor
+    scheduling_ps: int = 0    # software-memory-controller logic
+    main_memory_ps: int = 0   # DRAM Bender execution
+    stall_ps: int = 0         # processor clock-gated beyond overlap
+
+    @property
+    def total_ps(self) -> int:
+        return self.processing_ps + self.stall_ps
+
+    def as_fractions(self) -> dict[str, float]:
+        total = max(1, self.total_ps)
+        return {
+            "processing": self.processing_ps / total,
+            "scheduling": min(self.scheduling_ps, self.stall_ps) / total,
+            "main_memory": min(self.main_memory_ps, self.stall_ps) / total,
+            "stall": self.stall_ps / total,
+        }
+
+
+@dataclass
+class RunResult:
+    """Everything a finished emulation reports."""
+
+    config_name: str
+    workload_name: str
+    cycles: int                      # emulated processor cycles
+    emulated_ps: int                 # emulated wall time
+    accesses: int
+    loads: int
+    stores: int
+    stall_cycles: int
+    llc_miss_requests: int
+    writeback_requests: int
+    avg_request_latency_cycles: float
+    l1: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    refreshes: int = 0
+    technique_ops: int = 0
+    dram_commands: int = 0
+    breakdown: Breakdown = field(default_factory=Breakdown)
+    wall_seconds: float = 0.0
+    estimated_fpga_seconds: float = 0.0
+
+    @property
+    def emulated_seconds(self) -> float:
+        return self.emulated_ps / PS_PER_S
+
+    @property
+    def sim_speed_hz(self) -> float:
+        """Simulation speed: emulated processor cycles per wall second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.cycles / self.wall_seconds
+
+    @property
+    def mpk_accesses(self) -> float:
+        """LLC misses per kilo memory accesses (memory-intensity proxy)."""
+        if self.accesses == 0:
+            return 0.0
+        return 1000.0 * self.llc_miss_requests / self.accesses
+
+    @property
+    def cycles_per_access(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.cycles / self.accesses
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Execution-time speedup of this run relative to ``baseline``."""
+        if self.emulated_ps == 0:
+            return 0.0
+        return baseline.emulated_ps / self.emulated_ps
+
+    def summary(self) -> str:
+        return (
+            f"{self.config_name}/{self.workload_name}:"
+            f" {self.cycles} cycles ({self.emulated_seconds * 1e3:.3f} ms),"
+            f" {self.accesses} accesses, {self.llc_miss_requests} LLC misses,"
+            f" avg mem latency {self.avg_request_latency_cycles:.1f} cyc")

@@ -1,0 +1,210 @@
+"""EasyDRAMSystem: the end-to-end emulation engine.
+
+Wires the processor model, the EasyTile (buffers + Bender + DRAM), the
+software memory controller, and the time-scaling counters into the
+execution flow of Figures 5 and 6:
+
+1. the processor executes until it is blocked on an unserviced
+   last-level-cache miss (clock gating);
+2. the software memory controller enters critical mode and services
+   every pending request, tagging each response with the processor cycle
+   at which it may be consumed;
+3. the processor resumes, consuming responses at their release cycles.
+
+A :class:`Session` additionally supports the mixed CPU/technique flows
+the case studies need: running trace segments, flushing cache lines
+(CLFLUSH), and executing technique operations (RowClone, profiling
+requests) as critical-mode episodes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bender.engine import ExecResult
+from repro.core.config import SystemConfig
+from repro.core.easyapi import CostModel, EasyAPI
+from repro.core.smc import SoftwareMemoryController
+from repro.core.stats import Breakdown, RunResult
+from repro.core.tile import EasyTile
+from repro.core.timescale import TimeScalingCounters
+from repro.cpu.cache import Cache, CacheHierarchy
+from repro.cpu.memtrace import Trace
+from repro.cpu.processor import MemoryRequest, Processor
+from repro.dram.timing import PS_PER_S, period_ps
+
+
+class EmulationDeadlock(Exception):
+    """The processor is blocked but no requests are pending."""
+
+
+class EasyDRAMSystem:
+    """One configured EasyDRAM instance (hardware + software controller)."""
+
+    def __init__(self, config: SystemConfig,
+                 costs: CostModel | None = None) -> None:
+        self.config = config
+        self.tile = EasyTile(config)
+        self.api = EasyAPI(self.tile, costs=costs)
+        self.counters = TimeScalingCounters()
+        self.smc = SoftwareMemoryController(
+            config, self.tile, self.api, self.counters)
+
+    # -- convenience -------------------------------------------------------
+
+    def session(self, workload_name: str = "workload") -> "Session":
+        """Start a fresh execution session (resets processor-side state)."""
+        return Session(self, workload_name)
+
+    def run(self, trace: Trace, workload_name: str = "workload") -> RunResult:
+        """Run a single trace to completion and return its results."""
+        session = self.session(workload_name)
+        session.run_trace(trace)
+        return session.finish()
+
+    @property
+    def mapper(self):
+        return self.tile.mapper
+
+    @property
+    def device(self):
+        return self.tile.device
+
+
+class Session:
+    """A running emulation: processor state persists across trace segments."""
+
+    def __init__(self, system: EasyDRAMSystem, workload_name: str) -> None:
+        self.system = system
+        self.workload_name = workload_name
+        config = system.config
+        l1 = Cache("L1D", config.l1.size_bytes, config.l1.assoc,
+                   config.l1.line_bytes, config.l1.hit_latency)
+        l2 = Cache("L2", config.l2.size_bytes, config.l2.assoc,
+                   config.l2.line_bytes, config.l2.hit_latency)
+        self.hierarchy = CacheHierarchy(l1, l2, memory_fill_latency=2)
+        self.processor = Processor(config.processor, self.hierarchy, trace=())
+        self._pending: list[MemoryRequest] = []
+        self._wall_start = time.perf_counter()
+        self._proc_period = period_ps(config.processor.emulated_freq_hz)
+
+    # -- core loop (Fig 5/6) -----------------------------------------------------
+
+    def run_trace(self, trace: Trace) -> None:
+        """Execute one trace segment to completion."""
+        proc = self.processor
+        counters = self.system.counters
+        smc = self.system.smc
+        proc.feed(trace)
+        while True:
+            burst = proc.execute_burst()
+            counters.advance_processor(proc.cycles)
+            self._pending.extend(burst.new_requests)
+            if burst.done:
+                if self._pending:
+                    smc.service_pending(self._pending)
+                    self._pending = []
+                break
+            if not self._pending:
+                raise EmulationDeadlock(
+                    "processor blocked with no pending memory requests")
+            smc.service_pending(self._pending)
+            self._pending = []
+
+    # -- technique support --------------------------------------------------------
+
+    def technique_op(self, stage, respect_timing: bool = False,
+                     issue_cost_cycles: int = 4) -> ExecResult:
+        """Execute a technique operation synchronously (MMIO semantics).
+
+        ``stage`` is a callable receiving the :class:`EasyAPI`; it stages
+        the DRAM command sequence.  The processor blocks until the
+        operation's release cycle.
+        """
+        proc = self.processor
+        proc.cycles += issue_cost_cycles
+        release, result = self.system.smc.technique_episode(
+            stage, issue_cycle=proc.cycles, respect_timing=respect_timing)
+        if release > proc.cycles:
+            proc.stats.stall_cycles += release - proc.cycles
+            proc.cycles = release
+        self.system.counters.advance_processor(proc.cycles)
+        return result
+
+    def clflush_range(self, start_addr: int, size_bytes: int) -> int:
+        """Flush a range through the CLFLUSH register (Section 7.1).
+
+        Dirty lines become writeback requests serviced by the controller.
+        Returns the number of dirty lines written back.
+        """
+        line = self.hierarchy.line_bytes
+        proc = self.processor
+        writebacks: list[MemoryRequest] = []
+        first = start_addr - (start_addr % line)
+        addr = first
+        rid = 1 << 30
+        while addr < start_addr + size_bytes:
+            wb_addr, _cost = proc.clflush(addr)
+            if wb_addr is not None:
+                writebacks.append(MemoryRequest(
+                    rid=rid, addr=wb_addr, is_write=True,
+                    tag=proc.cycles, is_writeback=True))
+                rid += 1
+            addr += line
+        if writebacks:
+            self.system.smc.service_pending(writebacks)
+            # The flush instruction is ordered: the processor waits for
+            # the last writeback to land in DRAM.
+            last = max(r.release or 0 for r in writebacks)
+            if last > proc.cycles:
+                proc.stats.stall_cycles += last - proc.cycles
+                proc.cycles = last
+        self.system.counters.advance_processor(proc.cycles)
+        return len(writebacks)
+
+    # -- results ---------------------------------------------------------------
+
+    def finish(self) -> RunResult:
+        """Close the session and compute the run's results."""
+        wall = time.perf_counter() - self._wall_start
+        proc = self.processor
+        system = self.system
+        config = system.config
+        tile_stats = system.tile.stats
+        emulated_ps = proc.cycles * self._proc_period
+        stall_ps = proc.stats.stall_cycles * self._proc_period
+        breakdown = Breakdown(
+            processing_ps=emulated_ps - stall_ps,
+            scheduling_ps=tile_stats.scheduling_ps,
+            main_memory_ps=tile_stats.dram_busy_ps,
+            stall_ps=stall_ps,
+        )
+        fpga_ps = (
+            proc.cycles * config.processor_domain.fpga_period_ps
+            + system.smc.stats.total_sched_cycles
+            * config.controller_domain.fpga_period_ps
+            + tile_stats.dram_busy_ps)
+        return RunResult(
+            config_name=config.name,
+            workload_name=self.workload_name,
+            cycles=proc.cycles,
+            emulated_ps=emulated_ps,
+            accesses=proc.stats.accesses,
+            loads=proc.stats.loads,
+            stores=proc.stats.stores,
+            stall_cycles=proc.stats.stall_cycles,
+            llc_miss_requests=proc.stats.llc_miss_requests,
+            writeback_requests=proc.stats.writeback_requests,
+            avg_request_latency_cycles=proc.stats.avg_request_latency,
+            l1=self.hierarchy.l1.stats,
+            l2=self.hierarchy.l2.stats,
+            row_hits=tile_stats.row_hits,
+            row_misses=tile_stats.row_misses,
+            row_conflicts=tile_stats.row_conflicts,
+            refreshes=tile_stats.refreshes_issued,
+            technique_ops=tile_stats.technique_ops,
+            dram_commands=system.device.stats.total_commands(),
+            breakdown=breakdown,
+            wall_seconds=wall,
+            estimated_fpga_seconds=fpga_ps / PS_PER_S,
+        )

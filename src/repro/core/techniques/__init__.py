@@ -1,0 +1,20 @@
+"""DRAM techniques implemented over EasyAPI (the paper's case studies)."""
+
+from repro.core.techniques.rowclone import (
+    CopyPlan,
+    InitPlan,
+    RowCloneStats,
+    RowCloneTechnique,
+    RowPair,
+)
+from repro.core.techniques.trcd import TrcdReductionTechnique, TrcdStats
+
+__all__ = [
+    "CopyPlan",
+    "InitPlan",
+    "RowCloneStats",
+    "RowCloneTechnique",
+    "RowPair",
+    "TrcdReductionTechnique",
+    "TrcdStats",
+]

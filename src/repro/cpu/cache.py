@@ -1,0 +1,188 @@
+"""Set-associative cache hierarchy.
+
+Tag-only, write-back, write-allocate caches with true LRU replacement.
+The end-to-end evaluation needs the caches for *filtering* (which
+accesses reach DRAM) and for the per-level latency profile of Figure 8;
+data contents live in the DRAM device model only.
+
+The hierarchy exposes a single :meth:`CacheHierarchy.access` that returns
+the hit-path latency plus any memory traffic (a blocking line fill and/or
+posted writebacks), and a :meth:`CacheHierarchy.flush_line` implementing
+the memory-mapped CLFLUSH register of Section 7.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Per-level hit/miss/writeback counters."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class Cache:
+    """One cache level.  Addresses are *line* addresses (byte // line)."""
+
+    def __init__(self, name: str, size_bytes: int, assoc: int,
+                 line_bytes: int, hit_latency: int) -> None:
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by"
+                f" assoc*line ({assoc}x{line_bytes})")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.hit_latency = hit_latency
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        # Per set: list of [tag, dirty] kept in MRU-first order.
+        self._sets: list[list[list]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def lookup(self, line_addr: int, is_write: bool) -> bool:
+        """Probe for a line; on hit, update LRU and dirty bit."""
+        ways = self._sets[line_addr % self.num_sets]
+        tag = line_addr // self.num_sets
+        for i, entry in enumerate(ways):
+            if entry[0] == tag:
+                if i:
+                    ways.insert(0, ways.pop(i))
+                if is_write:
+                    ways[0][1] = True
+                self.stats.hits += 1
+                return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, line_addr: int, dirty: bool) -> int | None:
+        """Install a line; return the evicted dirty line address, if any."""
+        set_index = line_addr % self.num_sets
+        ways = self._sets[set_index]
+        tag = line_addr // self.num_sets
+        for i, entry in enumerate(ways):
+            if entry[0] == tag:  # already present (e.g. racing writeback)
+                if i:
+                    ways.insert(0, ways.pop(i))
+                ways[0][1] = ways[0][1] or dirty
+                return None
+        victim_line = None
+        if len(ways) >= self.assoc:
+            victim = ways.pop()
+            if victim[1]:
+                victim_line = victim[0] * self.num_sets + set_index
+                self.stats.writebacks += 1
+        ways.insert(0, [tag, dirty])
+        return victim_line
+
+    def evict(self, line_addr: int) -> tuple[bool, bool]:
+        """Remove a line if present; return (was_present, was_dirty)."""
+        ways = self._sets[line_addr % self.num_sets]
+        tag = line_addr // self.num_sets
+        for i, entry in enumerate(ways):
+            if entry[0] == tag:
+                ways.pop(i)
+                return True, entry[1]
+        return False, False
+
+    def contains(self, line_addr: int) -> bool:
+        ways = self._sets[line_addr % self.num_sets]
+        tag = line_addr // self.num_sets
+        return any(entry[0] == tag for entry in ways)
+
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+
+@dataclass
+class MemoryTraffic:
+    """DRAM-bound traffic produced by one cache-hierarchy access."""
+
+    latency: int                       # hit-path latency in core cycles
+    fill_line: int | None = None       # blocking line fill (line address)
+    writebacks: list[int] = field(default_factory=list)  # posted writes
+
+    @property
+    def is_llc_miss(self) -> bool:
+        return self.fill_line is not None
+
+
+class CacheHierarchy:
+    """Two-level (L1D + L2) hierarchy with non-inclusive write-back flow."""
+
+    def __init__(self, l1: Cache, l2: Cache, memory_fill_latency: int = 0) -> None:
+        if l1.line_bytes != l2.line_bytes:
+            raise ValueError("L1 and L2 must share a line size")
+        self.l1 = l1
+        self.l2 = l2
+        self.line_bytes = l1.line_bytes
+        #: Extra core cycles charged on an LLC miss for the fill path
+        #: (bus/queue traversal); DRAM latency itself comes from the SMC.
+        self.memory_fill_latency = memory_fill_latency
+
+    def access(self, addr: int, is_write: bool) -> MemoryTraffic:
+        """Access a byte address; return latency and memory traffic."""
+        line = addr // self.line_bytes
+        if self.l1.lookup(line, is_write):
+            return MemoryTraffic(latency=self.l1.hit_latency)
+        latency = self.l1.hit_latency + self.l2.hit_latency
+        writebacks: list[int] = []
+        if self.l2.lookup(line, False):
+            self._install_l1(line, is_write, writebacks)
+            return MemoryTraffic(latency=latency, writebacks=writebacks)
+        # LLC miss: fill L2 then L1 from memory.  Only the L1 probe cost
+        # is charged inline: a non-blocking miss overlaps the rest of the
+        # lookup with downstream work, and the end-to-end miss latency is
+        # applied when the response's release cycle is consumed.
+        l2_victim = self.l2.fill(line, dirty=False)
+        if l2_victim is not None:
+            writebacks.append(l2_victim * self.line_bytes)
+        self._install_l1(line, is_write, writebacks)
+        return MemoryTraffic(
+            latency=self.l1.hit_latency + self.memory_fill_latency,
+            fill_line=line * self.line_bytes,
+            writebacks=writebacks,
+        )
+
+    def _install_l1(self, line: int, is_write: bool, writebacks: list[int]) -> None:
+        victim = self.l1.fill(line, dirty=is_write)
+        if victim is None:
+            return
+        # Dirty L1 victim folds into L2 (write-allocate, no memory fetch).
+        if self.l2.lookup(victim, True):
+            return
+        l2_victim = self.l2.fill(victim, dirty=True)
+        if l2_victim is not None:
+            writebacks.append(l2_victim * self.line_bytes)
+
+    def flush_line(self, addr: int) -> int | None:
+        """CLFLUSH: invalidate everywhere; return writeback address if dirty."""
+        line = addr // self.line_bytes
+        dirty = False
+        for cache in (self.l1, self.l2):
+            present, was_dirty = cache.evict(line)
+            if present:
+                cache.stats.flushes += 1
+            dirty = dirty or was_dirty
+        return line * self.line_bytes if dirty else None
+
+    def llc_misses(self) -> int:
+        return self.l2.stats.misses
+
+    def reset_stats(self) -> None:
+        self.l1.stats = CacheStats()
+        self.l2.stats = CacheStats()

@@ -1,0 +1,92 @@
+"""Memory-access trace records.
+
+Workloads are lazy generators of :class:`Access` tuples so multi-million
+access kernels never materialize in memory.  Each access carries:
+
+``addr``
+    physical byte address;
+``flags``
+    bit 0 — write, bit 1 — *dependent* (the access cannot issue until all
+    earlier outstanding misses resolve; pointer chases set this);
+``gap``
+    compute cycles the core spends before this access (emulated processor
+    cycles at the *modeled* frequency — time scaling maps them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, NamedTuple
+
+FLAG_WRITE = 1
+FLAG_DEPENDENT = 2
+
+
+class Access(NamedTuple):
+    """One memory access in a workload trace."""
+
+    addr: int
+    flags: int
+    gap: int
+
+    @property
+    def is_write(self) -> bool:
+        return bool(self.flags & FLAG_WRITE)
+
+    @property
+    def is_dependent(self) -> bool:
+        return bool(self.flags & FLAG_DEPENDENT)
+
+
+def load(addr: int, gap: int = 0, dependent: bool = False) -> Access:
+    """Build a read access."""
+    return Access(addr, FLAG_DEPENDENT if dependent else 0, gap)
+
+
+def store(addr: int, gap: int = 0) -> Access:
+    """Build a write access."""
+    return Access(addr, FLAG_WRITE, gap)
+
+
+Trace = Iterable[Access]
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of a trace (used to sanity-check workloads)."""
+
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    compute_cycles: int = 0
+    unique_lines: set = field(default_factory=set)
+    line_bytes: int = 64
+
+    def observe(self, access: Access) -> None:
+        self.accesses += 1
+        if access.flags & FLAG_WRITE:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.compute_cycles += access.gap
+        self.unique_lines.add(access.addr // self.line_bytes)
+
+    @property
+    def footprint_bytes(self) -> int:
+        return len(self.unique_lines) * self.line_bytes
+
+
+def summarize(trace: Trace, line_bytes: int = 64) -> TraceStats:
+    """Consume a trace and return its statistics."""
+    stats = TraceStats(line_bytes=line_bytes)
+    for access in trace:
+        stats.observe(access)
+    return stats
+
+
+def take(trace: Trace, n: int) -> Iterator[Access]:
+    """First ``n`` accesses of a trace (partial-workload simulation)."""
+    for i, access in enumerate(trace):
+        if i >= n:
+            return
+        yield access

@@ -1,0 +1,230 @@
+"""Trace-driven processor model with bounded memory-level parallelism.
+
+The model replaces the paper's BOOM RISC-V core.  It executes a memory
+trace (compute gaps + loads/stores), filters accesses through the cache
+hierarchy, and exposes the processor-side contract that EasyDRAM's time
+scaling needs (Sections 4.3/4.4):
+
+* every last-level-cache miss becomes a :class:`MemoryRequest` *tagged
+  with the processor cycle counter at issue time*;
+* the processor clock-gates (``execute_burst`` returns with
+  ``blocked=True``) once it cannot proceed without a response;
+* responses carry a *release* cycle set by the memory-controller side;
+  consuming a response advances the processor counter to that release
+  value, which is exactly the "response tagged with the cycle it may be
+  consumed at" rule of Figure 5 (step 10).
+
+Out-of-order behaviour is approximated by a miss-level-parallelism bound
+(``mlp``) plus an instruction window past the oldest outstanding miss.
+Dependent accesses (pointer chases) serialize on all earlier misses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.cpu.cache import CacheHierarchy
+from repro.cpu.memtrace import FLAG_DEPENDENT, FLAG_WRITE, Access, Trace
+
+
+@dataclass
+class MemoryRequest:
+    """A DRAM-bound request emitted by the processor (or a writeback)."""
+
+    rid: int
+    addr: int
+    is_write: bool
+    tag: int                   # processor cycle counter at issue (Fig 5, (b))
+    is_writeback: bool = False
+    release: int | None = None  # set by the SMC; consumption gate
+    issue_index: int = 0        # instruction count at issue (window check)
+    #: Filled in by the memory side for row-hit statistics.
+    service_ps: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "WB" if self.is_writeback else ("ST" if self.is_write else "LD")
+        return f"<{kind}#{self.rid} {self.addr:#x} tag={self.tag} rel={self.release}>"
+
+
+@dataclass
+class BurstResult:
+    """What one ``execute_burst`` call produced."""
+
+    new_requests: list[MemoryRequest]
+    blocked: bool
+    done: bool
+
+
+@dataclass
+class ProcessorConfig:
+    """Core parameters of the modeled processor."""
+
+    name: str = "generic"
+    emulated_freq_hz: float = 1.43e9   # Cortex A57 in the Jetson Nano
+    fpga_freq_hz: float = 100e6        # BOOM's FPGA clock in EasyDRAM
+    mlp: int = 4                       # max outstanding LLC-miss fills
+    miss_window: int = 32              # accesses allowed past oldest miss
+    flush_latency: int = 8             # CLFLUSH register write cost (cycles)
+
+    def __post_init__(self) -> None:
+        if self.mlp < 1:
+            raise ValueError("mlp must be >= 1")
+        if self.miss_window < 1:
+            raise ValueError("miss_window must be >= 1")
+
+
+@dataclass
+class ProcessorStats:
+    """Execution counters in emulated processor cycles."""
+
+    accesses: int = 0
+    loads: int = 0
+    stores: int = 0
+    compute_cycles: int = 0
+    stall_cycles: int = 0
+    llc_miss_requests: int = 0
+    writeback_requests: int = 0
+    request_latencies: list[int] = field(default_factory=list)
+
+    @property
+    def avg_request_latency(self) -> float:
+        lat = self.request_latencies
+        return sum(lat) / len(lat) if lat else 0.0
+
+
+class Processor:
+    """One emulated core executing a memory trace."""
+
+    def __init__(self, config: ProcessorConfig, hierarchy: CacheHierarchy,
+                 trace: Trace) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self._trace: Iterator[Access] = iter(trace)
+        self.cycles = 0                      # processor cycle counter
+        self.outstanding: list[MemoryRequest] = []
+        self.stats = ProcessorStats()
+        self._rid = itertools.count()
+        self._pending: Access | None = None
+        self._done = False
+
+    # -- engine-facing API ------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def feed(self, trace: Trace) -> None:
+        """Queue another trace segment (sessions mix traces and techniques)."""
+        self._trace = iter(trace)
+        self._pending = None
+        self._done = False
+
+    def execute_burst(self) -> BurstResult:
+        """Run until blocked on an unserviced miss or the trace ends."""
+        new_requests: list[MemoryRequest] = []
+        while True:
+            if self._pending is None:
+                self._pending = next(self._trace, None)
+            access = self._pending
+            if access is None:
+                if self._drain():
+                    self._done = True
+                    return BurstResult(new_requests, blocked=False, done=True)
+                return BurstResult(new_requests, blocked=True, done=False)
+            if not self._can_issue(access):
+                if not self._consume_ready(access):
+                    return BurstResult(new_requests, blocked=True, done=False)
+                continue
+            self._pending = None
+            self._execute(access, new_requests)
+
+    def deliver(self, request: MemoryRequest) -> None:
+        """The memory side finished ``request``; its release must be set."""
+        if request.release is None:
+            raise ValueError(f"delivered request without release: {request}")
+
+    def clflush(self, addr: int) -> tuple[int | None, int]:
+        """Flush one line (memory-mapped CLFLUSH register, Section 7.1).
+
+        Returns (writeback address or None, cycles charged).
+        """
+        self.cycles += self.config.flush_latency
+        return self.hierarchy.flush_line(addr), self.config.flush_latency
+
+    # -- internals ------------------------------------------------------------
+
+    def _can_issue(self, access: Access) -> bool:
+        if not self.outstanding:
+            return True
+        if access.flags & FLAG_DEPENDENT:
+            return False
+        if len(self.outstanding) >= self.config.mlp:
+            return False
+        oldest = self.outstanding[0]
+        return self.stats.accesses - oldest.issue_index < self.config.miss_window
+
+    def _consume_ready(self, access: Access) -> bool:
+        """Consume resolved responses that gate ``access``.
+
+        Returns False when the gating response has not been serviced yet —
+        i.e. the processor is clock-gated.
+        """
+        if access.flags & FLAG_DEPENDENT:
+            if any(r.release is None for r in self.outstanding):
+                return False
+            for request in self.outstanding:
+                self._consume(request)
+            self.outstanding.clear()
+            return True
+        oldest = self.outstanding[0]
+        if oldest.release is None:
+            return False
+        self._consume(oldest)
+        self.outstanding.pop(0)
+        return True
+
+    def _consume(self, request: MemoryRequest) -> None:
+        assert request.release is not None
+        if request.release > self.cycles:
+            self.stats.stall_cycles += request.release - self.cycles
+            self.cycles = request.release
+        self.stats.request_latencies.append(max(0, request.release - request.tag))
+
+    def _drain(self) -> bool:
+        """At end of trace: consume every outstanding fill if possible."""
+        if any(r.release is None for r in self.outstanding):
+            return False
+        for request in self.outstanding:
+            self._consume(request)
+        self.outstanding.clear()
+        return True
+
+    def _execute(self, access: Access, new_requests: list[MemoryRequest]) -> None:
+        stats = self.stats
+        stats.accesses += 1
+        is_write = bool(access.flags & FLAG_WRITE)
+        if is_write:
+            stats.stores += 1
+        else:
+            stats.loads += 1
+        if access.gap:
+            self.cycles += access.gap
+            stats.compute_cycles += access.gap
+        traffic = self.hierarchy.access(access.addr, is_write)
+        self.cycles += traffic.latency
+        for wb_addr in traffic.writebacks:
+            stats.writeback_requests += 1
+            new_requests.append(MemoryRequest(
+                rid=next(self._rid), addr=wb_addr, is_write=True,
+                tag=self.cycles, is_writeback=True,
+                issue_index=stats.accesses))
+        if traffic.fill_line is not None:
+            stats.llc_miss_requests += 1
+            request = MemoryRequest(
+                rid=next(self._rid), addr=traffic.fill_line,
+                is_write=is_write, tag=self.cycles,
+                issue_index=stats.accesses)
+            self.outstanding.append(request)
+            new_requests.append(request)

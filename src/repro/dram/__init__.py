@@ -1,0 +1,44 @@
+"""DDR4 device substrate: timings, commands, banks, cells, and the device.
+
+This package replaces the real DRAM chips of the paper's testbed (see
+DESIGN.md, Section 1).  The public surface is:
+
+* :class:`~repro.dram.timing.TimingParams` and the ``ddr4_1333`` /
+  ``ddr4_2400`` presets;
+* :class:`~repro.dram.commands.Command` / ``CommandKind``;
+* :class:`~repro.dram.address.Geometry`, ``DramAddress``, ``AddressMapper``;
+* :class:`~repro.dram.cells.CellArrayModel` — the synthetic silicon;
+* :class:`~repro.dram.device.DramDevice` — the executable chip model;
+* :class:`~repro.dram.timing_checker.TimingChecker` and
+  :class:`~repro.dram.timing_checker.TimingViolation`.
+"""
+
+from repro.dram.address import AddressMapper, DramAddress, Geometry
+from repro.dram.cells import CellArrayModel, CellModelConfig
+from repro.dram.commands import Command, CommandKind, IssuedCommand
+from repro.dram.device import DramDevice, DeviceStats, ReadResult
+from repro.dram.timing import TimingParams, ddr4_1333, ddr4_2400, ns, preset, us
+from repro.dram.timing_checker import TimingChecker, TimingViolation, ViolationRecord
+
+__all__ = [
+    "AddressMapper",
+    "CellArrayModel",
+    "CellModelConfig",
+    "Command",
+    "CommandKind",
+    "DramAddress",
+    "DramDevice",
+    "DeviceStats",
+    "Geometry",
+    "IssuedCommand",
+    "ReadResult",
+    "TimingChecker",
+    "TimingParams",
+    "TimingViolation",
+    "ViolationRecord",
+    "ddr4_1333",
+    "ddr4_2400",
+    "ns",
+    "preset",
+    "us",
+]

@@ -1,0 +1,161 @@
+"""Physical-address to DRAM-address translation.
+
+The memory controller translates processor physical addresses into
+``<bank, row, column>`` triplets (Section 2.3).  EasyAPI exposes the same
+mappers to user code so that, e.g., the RowClone allocator can reserve
+whole DRAM rows (Section 7.1, "alignment problem").
+
+Two mapping schemes are provided:
+
+* ``row-bank-col`` ("RoBaCo"): consecutive rows map to the same bank; a
+  row's bytes are contiguous in the physical address space.  This is the
+  scheme the RowClone allocator prefers because whole rows are trivially
+  alignable.
+* ``bank-interleaved`` ("BaRoCo" at cache-line granularity): consecutive
+  cache lines rotate across banks, maximizing bank-level parallelism for
+  streaming workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Shape of the modeled single-channel, single-rank DRAM system.
+
+    The paper's system is a single channel / single rank of DDR4 with 4
+    bank groups x 4 banks and 32K rows (footnote 5); the default geometry
+    here scales the row count down for tractable experiments while tests
+    cover the full-size configuration too.
+    """
+
+    bank_groups: int = 4
+    banks_per_group: int = 4
+    rows_per_bank: int = 4096
+    columns_per_row: int = 128       # cache lines per row
+    line_bytes: int = 64
+    subarray_rows: int = 512
+
+    def __post_init__(self) -> None:
+        for name in ("bank_groups", "banks_per_group", "rows_per_bank",
+                     "columns_per_row", "line_bytes", "subarray_rows"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.subarray_rows > self.rows_per_bank:
+            raise ValueError("subarray_rows cannot exceed rows_per_bank")
+
+    @property
+    def num_banks(self) -> int:
+        return self.bank_groups * self.banks_per_group
+
+    @property
+    def row_bytes(self) -> int:
+        return self.columns_per_row * self.line_bytes
+
+    @property
+    def bank_bytes(self) -> int:
+        return self.rows_per_bank * self.row_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_banks * self.bank_bytes
+
+    @property
+    def subarrays_per_bank(self) -> int:
+        return -(-self.rows_per_bank // self.subarray_rows)
+
+    def bank_group_of(self, bank: int) -> int:
+        """Bank group index for a flat bank index."""
+        return bank // self.banks_per_group
+
+    def subarray_of(self, row: int) -> int:
+        """Subarray index of a row (RowClone is intra-subarray only)."""
+        return row // self.subarray_rows
+
+
+@dataclass(frozen=True)
+class DramAddress:
+    """A fully decoded DRAM coordinate (single channel / rank modeled)."""
+
+    bank: int
+    row: int
+    col: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<b{self.bank} r{self.row} c{self.col}>"
+
+
+class AddressMapper:
+    """Bidirectional physical-address <-> DRAM-address mapper.
+
+    ``row-bank-col-skew`` is ``row-bank-col`` with the bank index skewed
+    by a hash of the row, the standard controller trick that keeps
+    power-of-two-strided streams (e.g. a copy's source and destination
+    arrays) from ping-ponging between two rows of one bank.
+    """
+
+    SCHEMES = ("row-bank-col", "row-bank-col-skew", "bank-interleaved")
+
+    def __init__(self, geometry: Geometry, scheme: str = "row-bank-col") -> None:
+        if scheme not in self.SCHEMES:
+            raise ValueError(f"unknown scheme {scheme!r}; known: {self.SCHEMES}")
+        self.geometry = geometry
+        self.scheme = scheme
+
+    def to_dram(self, phys_addr: int) -> DramAddress:
+        """Decode a physical byte address into a DRAM coordinate."""
+        g = self.geometry
+        if phys_addr < 0:
+            raise ValueError(f"negative physical address {phys_addr:#x}")
+        line = (phys_addr % g.total_bytes) // g.line_bytes
+        if self.scheme in ("row-bank-col", "row-bank-col-skew"):
+            col = line % g.columns_per_row
+            block = line // g.columns_per_row
+            bank = block % g.num_banks
+            row = (block // g.num_banks) % g.rows_per_bank
+            if self.scheme == "row-bank-col-skew":
+                bank = (bank + self._skew(row)) % g.num_banks
+        else:  # bank-interleaved
+            bank = line % g.num_banks
+            line //= g.num_banks
+            col = line % g.columns_per_row
+            row = (line // g.columns_per_row) % g.rows_per_bank
+        return DramAddress(bank=bank, row=row, col=col)
+
+    @staticmethod
+    def _skew(row: int) -> int:
+        """Row-dependent bank skew (folds the row bits down)."""
+        return row ^ (row >> 4) ^ (row >> 8)
+
+    def to_physical(self, addr: DramAddress) -> int:
+        """Encode a DRAM coordinate back into a physical byte address."""
+        g = self.geometry
+        self._check(addr)
+        if self.scheme in ("row-bank-col", "row-bank-col-skew"):
+            bank = addr.bank
+            if self.scheme == "row-bank-col-skew":
+                bank = (bank - self._skew(addr.row)) % g.num_banks
+            line = (addr.row * g.num_banks + bank) * g.columns_per_row + addr.col
+        else:
+            line = (addr.row * g.columns_per_row + addr.col) * g.num_banks + addr.bank
+        return line * g.line_bytes
+
+    def row_base_physical(self, bank: int, row: int) -> int:
+        """Physical address of the first byte of a DRAM row."""
+        return self.to_physical(DramAddress(bank=bank, row=row, col=0))
+
+    def row_is_contiguous(self) -> bool:
+        """Whether a DRAM row occupies contiguous physical addresses."""
+        return self.scheme in ("row-bank-col", "row-bank-col-skew")
+
+    def _check(self, addr: DramAddress) -> None:
+        g = self.geometry
+        if not (0 <= addr.bank < g.num_banks):
+            raise ValueError(f"bank {addr.bank} out of range 0..{g.num_banks - 1}")
+        if not (0 <= addr.row < g.rows_per_bank):
+            raise ValueError(f"row {addr.row} out of range 0..{g.rows_per_bank - 1}")
+        if not (0 <= addr.col < g.columns_per_row):
+            raise ValueError(
+                f"col {addr.col} out of range 0..{g.columns_per_row - 1}")

@@ -1,0 +1,87 @@
+"""Per-bank DRAM state.
+
+Each bank tracks its row-buffer state and the timestamps of the most
+recent commands that matter for timing constraints.  The timing checker
+reads these timestamps; the device model updates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+NEVER = -(10 ** 18)
+
+
+@dataclass
+class BankState:
+    """Row-buffer and command-history state of one DRAM bank."""
+
+    index: int
+    open_row: int | None = None
+    #: Timestamps (ps) of the latest command of each kind.
+    last_act: int = NEVER
+    last_pre: int = NEVER
+    last_read: int = NEVER
+    last_write: int = NEVER
+    #: End of the most recent write burst (for tWR accounting).
+    last_write_data_end: int = NEVER
+    #: Row that was open before the latest PRE (RowClone detection).
+    previously_open_row: int | None = None
+    #: Total activations, used by refresh/row-hit statistics.
+    act_count: int = 0
+
+    def activate(self, row: int, time_ps: int) -> None:
+        """Record an ACT command opening ``row`` at ``time_ps``."""
+        self.open_row = row
+        self.last_act = time_ps
+        self.act_count += 1
+
+    def precharge(self, time_ps: int) -> None:
+        """Record a PRE command closing the bank at ``time_ps``."""
+        self.previously_open_row = self.open_row
+        self.open_row = None
+        self.last_pre = time_ps
+
+    def read(self, time_ps: int) -> None:
+        self.last_read = time_ps
+
+    def write(self, time_ps: int, data_end_ps: int) -> None:
+        self.last_write = time_ps
+        self.last_write_data_end = data_end_ps
+
+    @property
+    def is_open(self) -> bool:
+        return self.open_row is not None
+
+    def reset(self) -> None:
+        """Return the bank to its power-on state."""
+        self.open_row = None
+        self.previously_open_row = None
+        self.last_act = NEVER
+        self.last_pre = NEVER
+        self.last_read = NEVER
+        self.last_write = NEVER
+        self.last_write_data_end = NEVER
+        self.act_count = 0
+
+
+@dataclass
+class RankState:
+    """Rank-wide state: tFAW activation window and refresh bookkeeping."""
+
+    #: Timestamps of recent ACTs anywhere in the rank (for tFAW).
+    recent_acts: list[int] = field(default_factory=list)
+    last_ref: int = NEVER
+    #: Per-row last refresh/activation time for retention modeling.
+    refresh_epoch_ps: int = 0
+
+    def record_act(self, time_ps: int, window_ps: int) -> None:
+        """Append an ACT and drop entries older than the tFAW window."""
+        self.recent_acts.append(time_ps)
+        cutoff = time_ps - window_ps
+        # The list stays tiny (<= 4 live entries) so a filter pass is fine.
+        self.recent_acts = [t for t in self.recent_acts if t > cutoff]
+
+    def acts_in_window(self, time_ps: int, window_ps: int) -> int:
+        cutoff = time_ps - window_ps
+        return sum(1 for t in self.recent_acts if t > cutoff)

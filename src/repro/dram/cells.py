@@ -1,0 +1,184 @@
+"""Synthetic DRAM cell-behaviour model.
+
+The paper evaluates DRAM techniques on *real* chips; what the chips
+contribute is analog cell behaviour: per-row access-latency margins
+(Section 8, Figure 12) and the reliability of RowClone copies between row
+pairs (Section 7.1, "mapping problem").  Since this reproduction has no
+hardware, this module provides a deterministic synthetic model with the
+statistical structure the paper reports:
+
+* every row operates correctly below the nominal ``tRCD`` (13.5 ns);
+* about 84.5 % of rows are *strong* (reliable at <= 9.0 ns) and the rest
+  are *weak* (9.0 ns < min tRCD <= ~10.5 ns);
+* weak rows are spatially clustered within specific banks and areas;
+* RowClone succeeds only within one subarray, and a small fraction of
+  intra-subarray pairs is unreliable (they fail some of the 1000 test
+  copies PiDRAM-style clonability testing performs).
+
+Everything is derived from a seed via the splitmix64 mixer, so profiling
+the "chip" twice gives identical results — like re-testing real silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.address import Geometry
+from repro.dram.timing import ns
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """Deterministic 64-bit mixer (splitmix64 finalizer)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _unit(x: int) -> float:
+    """Map a 64-bit hash to [0, 1)."""
+    return _splitmix64(x) / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class CellModelConfig:
+    """Tunables of the synthetic cell model (defaults match Figure 12)."""
+
+    seed: int = 0xEA5D_0D12
+    #: Strong rows are reliable at/below this tRCD (paper threshold 9.0 ns).
+    strong_trcd_ps: int = ns(9.0)
+    #: Fraction of rows that end up weak (paper: 15.5 %).
+    weak_fraction: float = 0.155
+    #: Range of minimum tRCD for strong rows.
+    strong_min_ps: int = ns(8.2)
+    strong_max_ps: int = ns(9.0)
+    #: Range of minimum tRCD for weak rows.
+    weak_min_ps: int = ns(9.5)
+    weak_max_ps: int = ns(10.5)
+    #: Rows per spatial cluster tile (weakness is correlated in tiles).
+    cluster_rows: int = 64
+    #: Fraction of intra-subarray row pairs that cannot RowClone reliably.
+    #: Copy allocations route around these (the allocator tests pairs);
+    #: prescribed init targets cannot, which is footnote 6's fallback
+    #: overhead.
+    rowclone_pair_fail_rate: float = 0.30
+    #: Per-copy failure probability of an unreliable pair.
+    unreliable_pair_error_rate: float = 0.05
+
+
+class CellArrayModel:
+    """Deterministic per-row strength and RowClone-reliability oracle."""
+
+    def __init__(self, geometry: Geometry,
+                 config: CellModelConfig | None = None) -> None:
+        self.geometry = geometry
+        self.config = config or CellModelConfig()
+        self._row_trcd_cache: dict[tuple[int, int], int] = {}
+
+    # -- access-latency margins -------------------------------------------
+
+    def row_min_trcd_ps(self, bank: int, row: int) -> int:
+        """Minimum tRCD (ps) at which every cell in ``row`` reads correctly.
+
+        Weakness is decided at cluster-tile granularity first (so weak rows
+        cluster spatially, as in Figure 12), then per-row jitter is added.
+        """
+        key = (bank, row)
+        cached = self._row_trcd_cache.get(key)
+        if cached is not None:
+            return cached
+        cfg = self.config
+        tile = row // cfg.cluster_rows
+        # Bank-level bias: some banks are weaker overall (Figure 12 shows
+        # weak cells concentrated in specific banks/areas).
+        bank_bias = _unit(cfg.seed ^ (bank * 0x51ED270) ^ 0xB1A5)
+        tile_draw = _unit(cfg.seed ^ (bank << 32) ^ (tile * 0x9E37) ^ 0x7135)
+        # Mix the bank bias in: weak tiles are ~2x likelier in weak banks.
+        weak_threshold = cfg.weak_fraction * (0.5 + bank_bias)
+        is_weak = tile_draw < weak_threshold
+        jitter = _unit(cfg.seed ^ (bank << 40) ^ (row * 0xC2B2) ^ 0x1F123)
+        if is_weak:
+            lo, hi = cfg.weak_min_ps, cfg.weak_max_ps
+        else:
+            lo, hi = cfg.strong_min_ps, cfg.strong_max_ps
+        value = lo + int(jitter * (hi - lo))
+        self._row_trcd_cache[key] = value
+        return value
+
+    def row_is_strong(self, bank: int, row: int) -> bool:
+        """A row is strong when it tolerates the paper's 9.0 ns threshold."""
+        return self.row_min_trcd_ps(bank, row) <= self.config.strong_trcd_ps
+
+    def read_is_reliable(self, bank: int, row: int, trcd_used_ps: int) -> bool:
+        """Would a read after ``trcd_used_ps`` of activation return good data?"""
+        return trcd_used_ps >= self.row_min_trcd_ps(bank, row)
+
+    def strong_fraction(self, banks: int | None = None) -> float:
+        """Fraction of strong rows across ``banks`` (defaults to all)."""
+        n_banks = banks if banks is not None else self.geometry.num_banks
+        rows = self.geometry.rows_per_bank
+        strong = sum(
+            1
+            for bank in range(n_banks)
+            for row in range(rows)
+            if self.row_is_strong(bank, row)
+        )
+        return strong / float(n_banks * rows)
+
+    # -- RowClone reliability ----------------------------------------------
+
+    def rowclone_pair_reliable(self, bank: int, src_row: int, dst_row: int) -> bool:
+        """Whether (src, dst) can *always* complete a RowClone copy.
+
+        Pairs spanning subarrays can never copy (FPM RowClone is an
+        intra-subarray operation).  A deterministic per-pair draw marks a
+        small fraction of intra-subarray pairs unreliable.
+        """
+        if src_row == dst_row:
+            return True
+        g = self.geometry
+        if g.subarray_of(src_row) != g.subarray_of(dst_row):
+            return False
+        cfg = self.config
+        lo, hi = min(src_row, dst_row), max(src_row, dst_row)
+        draw = _unit(cfg.seed ^ (bank << 48) ^ (lo << 24) ^ hi ^ 0xA0C1)
+        return draw >= cfg.rowclone_pair_fail_rate
+
+    def rowclone_copy_succeeds(self, bank: int, src_row: int, dst_row: int,
+                               attempt: int) -> bool:
+        """Outcome of one RowClone copy attempt (attempt index varies it).
+
+        Reliable pairs always succeed; unreliable intra-subarray pairs fail
+        a deterministic pseudo-random subset of attempts, so a 1000-attempt
+        clonability test (Section 7.1) flags them with high probability.
+        """
+        g = self.geometry
+        if src_row != dst_row and g.subarray_of(src_row) != g.subarray_of(dst_row):
+            return False
+        if self.rowclone_pair_reliable(bank, src_row, dst_row):
+            return True
+        cfg = self.config
+        draw = _unit(cfg.seed ^ (bank << 52) ^ (src_row << 30)
+                     ^ (dst_row << 12) ^ attempt ^ 0x5EED)
+        return draw >= cfg.unreliable_pair_error_rate
+
+    # -- data corruption -----------------------------------------------------
+
+    def corrupt(self, data: bytes, bank: int, row: int, salt: int) -> bytes:
+        """Deterministically corrupt ``data`` as a failed technique op would.
+
+        A handful of byte positions (derived from the seed) are flipped;
+        the result differs from the input so equality checks catch it.
+        """
+        if not data:
+            return data
+        out = bytearray(data)
+        base = self.config.seed ^ (bank << 44) ^ (row << 20) ^ salt
+        n_flips = 1 + _splitmix64(base) % 4
+        for i in range(n_flips):
+            pos = _splitmix64(base ^ (i * 0x9E3779B9)) % len(out)
+            flip = (_splitmix64(base ^ 0xF11B ^ i) % 255) + 1
+            out[pos] ^= flip
+        return bytes(out)

@@ -1,0 +1,83 @@
+"""DRAM command vocabulary.
+
+The command set mirrors what a DDR4 memory controller (and DRAM Bender)
+can issue.  Commands are plain records; the device model interprets them
+and the timing checker validates inter-command spacing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CommandKind(enum.Enum):
+    """DDR4 command types modeled by the device."""
+
+    ACT = "ACT"      # activate (open) a row
+    PRE = "PRE"      # precharge (close) one bank
+    PREA = "PREA"    # precharge all banks
+    RD = "RD"        # column read (burst)
+    WR = "WR"        # column write (burst)
+    REF = "REF"      # refresh
+    NOP = "NOP"      # no operation / deselect
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Commands that target a specific bank.
+BANK_COMMANDS = frozenset({CommandKind.ACT, CommandKind.PRE, CommandKind.RD, CommandKind.WR})
+
+#: Commands that carry a row address.
+ROW_COMMANDS = frozenset({CommandKind.ACT})
+
+#: Commands that carry a column address.
+COLUMN_COMMANDS = frozenset({CommandKind.RD, CommandKind.WR})
+
+
+@dataclass
+class Command:
+    """A single DRAM command with its target coordinates.
+
+    ``bank`` is a flat bank index (bank group folded in); the device and
+    checker derive the bank group with the device geometry when they need
+    the _S/_L timing distinction.
+    """
+
+    kind: CommandKind
+    bank: int = 0
+    row: int = 0
+    col: int = 0
+    #: Optional 64-byte payload for WR commands.  ``None`` writes a
+    #: deterministic filler pattern derived from the address.
+    data: bytes | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.bank < 0 or self.row < 0 or self.col < 0:
+            raise ValueError(f"negative address component in {self!r}")
+
+    @property
+    def targets_bank(self) -> bool:
+        return self.kind in BANK_COMMANDS
+
+    def short(self) -> str:
+        """Compact human-readable rendering, used in logs and tests."""
+        if self.kind in ROW_COMMANDS:
+            return f"{self.kind} b{self.bank} r{self.row}"
+        if self.kind in COLUMN_COMMANDS:
+            return f"{self.kind} b{self.bank} c{self.col}"
+        if self.kind is CommandKind.PRE:
+            return f"PRE b{self.bank}"
+        return str(self.kind)
+
+
+@dataclass
+class IssuedCommand:
+    """A command paired with the picosecond timestamp it was issued at."""
+
+    command: Command
+    time_ps: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.command.short()} @ {self.time_ps}ps>"

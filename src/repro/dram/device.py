@@ -1,0 +1,262 @@
+"""Behavioural DDR4 device model.
+
+:class:`DramDevice` is the stand-in for the real DRAM chips behind DRAM
+Bender.  It executes the DDR4 command stream, keeps actual row data, and
+— crucially for DRAM techniques — models what the silicon does when the
+controller *violates* manufacturer timings:
+
+* an ``ACT`` issued right after a premature ``PRE`` (the FPM RowClone
+  sequence) copies the previously open row into the newly activated row,
+  subject to the cell model's subarray and pair-reliability rules;
+* a ``RD`` issued before the row's minimum reliable ``tRCD`` returns
+  deterministically corrupted data;
+* reads from rows whose refresh window lapsed can return corrupted data
+  when retention modeling is enabled.
+
+The device never decides policy; it only answers "what would the chip
+do".  Timing legality is delegated to :class:`TimingChecker` running in
+permissive mode by default (techniques intentionally violate timings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.address import Geometry
+from repro.dram.bank import BankState, RankState
+from repro.dram.cells import CellArrayModel
+from repro.dram.commands import Command, CommandKind
+from repro.dram.timing import TimingParams
+from repro.dram.timing_checker import TimingChecker
+
+
+@dataclass
+class ReadResult:
+    """Outcome of a RD command: one cache line and its integrity."""
+
+    data: bytes
+    reliable: bool
+    bank: int
+    row: int
+    col: int
+
+
+@dataclass
+class DeviceStats:
+    """Command counts and technique-relevant event counts."""
+
+    commands: dict[str, int] = field(default_factory=dict)
+    rowclone_attempts: int = 0
+    rowclone_successes: int = 0
+    unreliable_reads: int = 0
+    retention_failures: int = 0
+
+    def count(self, kind: CommandKind) -> None:
+        key = kind.value
+        self.commands[key] = self.commands.get(key, 0) + 1
+
+    def total_commands(self) -> int:
+        return sum(self.commands.values())
+
+
+class DramDevice:
+    """Single-channel, single-rank DDR4 device with real data contents."""
+
+    #: An ACT arriving within this fraction of tRP after a PRE triggers
+    #: the in-DRAM copy path (the PRE interrupted the previous row's
+    #: precharge, so both wordlines share charge — FPM RowClone).
+    ROWCLONE_PRE_TO_ACT_FRACTION = 0.6
+
+    def __init__(self, timing: TimingParams, geometry: Geometry,
+                 cells: CellArrayModel | None = None,
+                 strict_timing: bool = False,
+                 retention_modeling: bool = False) -> None:
+        self.timing = timing
+        self.geometry = geometry
+        self.cells = cells or CellArrayModel(geometry)
+        self.banks = [BankState(i) for i in range(geometry.num_banks)]
+        self.rank = RankState()
+        self.checker = TimingChecker(timing, geometry, strict=strict_timing)
+        self.retention_modeling = retention_modeling
+        self.stats = DeviceStats()
+        self._rows: dict[tuple[int, int], bytearray] = {}
+        self._last_issue_ps = -1
+        self._rowclone_attempt_counter = 0
+
+    # -- command execution -------------------------------------------------
+
+    def issue(self, cmd: Command, time_ps: int) -> ReadResult | None:
+        """Execute one command at ``time_ps`` (must be non-decreasing)."""
+        if time_ps < self._last_issue_ps:
+            raise ValueError(
+                f"command stream went backwards: {time_ps} < {self._last_issue_ps}")
+        self._last_issue_ps = time_ps
+        self._validate(cmd)
+        self.checker.check(cmd, time_ps, self.banks, self.rank)
+        self.stats.count(cmd.kind)
+        handler = {
+            CommandKind.ACT: self._do_act,
+            CommandKind.PRE: self._do_pre,
+            CommandKind.PREA: self._do_prea,
+            CommandKind.RD: self._do_rd,
+            CommandKind.WR: self._do_wr,
+            CommandKind.REF: self._do_ref,
+            CommandKind.NOP: self._do_nop,
+        }[cmd.kind]
+        return handler(cmd, time_ps)
+
+    def _do_act(self, cmd: Command, t: int) -> None:
+        bank = self.banks[cmd.bank]
+        self._maybe_rowclone(bank, cmd.row, t)
+        bank.activate(cmd.row, t)
+        self.rank.record_act(t, self.timing.tFAW)
+        return None
+
+    def _do_pre(self, cmd: Command, t: int) -> None:
+        self.banks[cmd.bank].precharge(t)
+        return None
+
+    def _do_prea(self, cmd: Command, t: int) -> None:
+        for bank in self.banks:
+            bank.precharge(t)
+        return None
+
+    def _do_rd(self, cmd: Command, t: int) -> ReadResult:
+        bank = self.banks[cmd.bank]
+        if bank.open_row is None:
+            raise RuntimeError(
+                f"RD to bank {cmd.bank} with no open row at {t} ps")
+        row = bank.open_row
+        bank.read(t)
+        line = self._read_line(cmd.bank, row, cmd.col)
+        reliable = True
+        trcd_used = t - bank.last_act
+        if not self.cells.read_is_reliable(cmd.bank, row, trcd_used):
+            line = self.cells.corrupt(line, cmd.bank, row, salt=t & 0xFFFF)
+            reliable = False
+            self.stats.unreliable_reads += 1
+        elif self.retention_modeling and self._retention_lapsed(t):
+            if self._row_is_leaky(cmd.bank, row):
+                line = self.cells.corrupt(line, cmd.bank, row, salt=0xDECA)
+                reliable = False
+                self.stats.retention_failures += 1
+        return ReadResult(data=line, reliable=reliable,
+                          bank=cmd.bank, row=row, col=cmd.col)
+
+    def _do_wr(self, cmd: Command, t: int) -> None:
+        bank = self.banks[cmd.bank]
+        if bank.open_row is None:
+            raise RuntimeError(
+                f"WR to bank {cmd.bank} with no open row at {t} ps")
+        row = bank.open_row
+        data = cmd.data
+        if data is None:
+            data = self.default_line(cmd.bank, row, cmd.col)
+        self._write_line(cmd.bank, row, cmd.col, data)
+        bank.write(t, t + self.timing.tCWL + self.timing.tBL)
+        return None
+
+    def _do_ref(self, cmd: Command, t: int) -> None:
+        self.rank.last_ref = t
+        self.rank.refresh_epoch_ps = t
+        return None
+
+    def _do_nop(self, cmd: Command, t: int) -> None:
+        return None
+
+    # -- RowClone semantics ---------------------------------------------------
+
+    def _maybe_rowclone(self, bank: BankState, dst_row: int, t: int) -> None:
+        """Detect the ACT-PRE-ACT FPM sequence and perform the in-DRAM copy."""
+        src_row = bank.previously_open_row
+        if src_row is None or src_row == dst_row:
+            return
+        gap = t - bank.last_pre
+        if gap >= int(self.timing.tRP * self.ROWCLONE_PRE_TO_ACT_FRACTION):
+            return
+        self.stats.rowclone_attempts += 1
+        self._rowclone_attempt_counter += 1
+        src_data = self._row(bank.index, src_row)
+        ok = self.cells.rowclone_copy_succeeds(
+            bank.index, src_row, dst_row, self._rowclone_attempt_counter)
+        if ok:
+            self._rows[(bank.index, dst_row)] = bytearray(src_data)
+            self.stats.rowclone_successes += 1
+        else:
+            corrupted = self.cells.corrupt(
+                bytes(src_data), bank.index, dst_row,
+                salt=self._rowclone_attempt_counter)
+            self._rows[(bank.index, dst_row)] = bytearray(corrupted)
+
+    # -- data storage ---------------------------------------------------------
+
+    def default_line(self, bank: int, row: int, col: int) -> bytes:
+        """Deterministic power-on filler pattern for an untouched line."""
+        tag = (bank * 0x1000003 + row * 0x10001 + col * 0x101) & 0xFFFFFFFF
+        unit = tag.to_bytes(4, "little")
+        return unit * (self.geometry.line_bytes // 4)
+
+    def _row(self, bank: int, row: int) -> bytearray:
+        key = (bank, row)
+        data = self._rows.get(key)
+        if data is None:
+            g = self.geometry
+            data = bytearray()
+            for col in range(g.columns_per_row):
+                data += self.default_line(bank, row, col)
+            self._rows[key] = data
+        return data
+
+    def _read_line(self, bank: int, row: int, col: int) -> bytes:
+        line = self.geometry.line_bytes
+        data = self._row(bank, row)
+        return bytes(data[col * line:(col + 1) * line])
+
+    def _write_line(self, bank: int, row: int, col: int, payload: bytes) -> None:
+        line = self.geometry.line_bytes
+        if len(payload) != line:
+            raise ValueError(
+                f"WR payload must be {line} bytes, got {len(payload)}")
+        data = self._row(bank, row)
+        data[col * line:(col + 1) * line] = payload
+
+    def row_data(self, bank: int, row: int) -> bytes:
+        """Whole-row contents (inspection helper for tests and profiling)."""
+        return bytes(self._row(bank, row))
+
+    def preload_row(self, bank: int, row: int, data: bytes) -> None:
+        """Host-side preload of a full row (e.g. test patterns)."""
+        if len(data) != self.geometry.row_bytes:
+            raise ValueError(
+                f"row preload must be {self.geometry.row_bytes} bytes,"
+                f" got {len(data)}")
+        self._rows[(bank, row)] = bytearray(data)
+
+    # -- retention ------------------------------------------------------------
+
+    def _retention_lapsed(self, t: int) -> bool:
+        return t - self.rank.refresh_epoch_ps > self.timing.tREFW
+
+    def _row_is_leaky(self, bank: int, row: int) -> bool:
+        """~1% of rows lose data first when the refresh window lapses."""
+        mix = (bank * 2654435761 + row * 40503) & 0xFFFF
+        return mix % 100 == 0
+
+    # -- misc -------------------------------------------------------------------
+
+    def _validate(self, cmd: Command) -> None:
+        g = self.geometry
+        if cmd.targets_bank and not (0 <= cmd.bank < g.num_banks):
+            raise ValueError(f"bank {cmd.bank} out of range for {cmd.short()}")
+        if cmd.kind is CommandKind.ACT and not (0 <= cmd.row < g.rows_per_bank):
+            raise ValueError(f"row {cmd.row} out of range for {cmd.short()}")
+        if cmd.kind in (CommandKind.RD, CommandKind.WR):
+            if not (0 <= cmd.col < g.columns_per_row):
+                raise ValueError(f"col {cmd.col} out of range for {cmd.short()}")
+
+    def reset(self) -> None:
+        """Power-cycle: bank state cleared, data retained (like a warm boot)."""
+        for bank in self.banks:
+            bank.reset()
+        self.rank = RankState()
+        self._last_issue_ps = -1

@@ -1,0 +1,167 @@
+"""JEDEC inter-command timing validation.
+
+The checker computes, for a candidate command, the earliest legal issue
+time given the bank/rank command history.  It is used in two modes:
+
+* **strict** — raise :class:`TimingViolation` when a command is issued
+  early.  This is how the conventional memory-controller path runs; it
+  guarantees the software memory controller never silently corrupts data.
+* **permissive** — report violations but let the command through.  DRAM
+  techniques (RowClone's premature PRE/ACT, reduced-tRCD reads) work by
+  deliberately violating timings; the *cell model* then decides what the
+  real chip would do with the violating sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.address import Geometry
+from repro.dram.bank import BankState, RankState
+from repro.dram.commands import Command, CommandKind
+from repro.dram.timing import TimingParams
+
+
+class TimingViolation(Exception):
+    """A DRAM command was issued before its earliest legal time."""
+
+    def __init__(self, command: Command, time_ps: int, earliest_ps: int,
+                 constraint: str) -> None:
+        self.command = command
+        self.time_ps = time_ps
+        self.earliest_ps = earliest_ps
+        self.constraint = constraint
+        short = command.short()
+        super().__init__(
+            f"{short} issued at {time_ps} ps, earliest legal {earliest_ps} ps"
+            f" (violates {constraint}, short by {earliest_ps - time_ps} ps)")
+
+
+@dataclass
+class ViolationRecord:
+    """A permissive-mode violation observation."""
+
+    command: Command
+    time_ps: int
+    earliest_ps: int
+    constraint: str
+
+    @property
+    def slack_ps(self) -> int:
+        """How early the command was (positive = violation magnitude)."""
+        return self.earliest_ps - self.time_ps
+
+
+@dataclass
+class _Constraint:
+    earliest_ps: int
+    name: str
+
+
+@dataclass
+class TimingChecker:
+    """Stateless constraint evaluator over bank/rank state.
+
+    The checker does not own the state; :class:`repro.dram.device.DramDevice`
+    passes its bank and rank state in.  This keeps checker logic pure and
+    lets the baseline simulator reuse it.
+    """
+
+    timing: TimingParams
+    geometry: Geometry
+    strict: bool = True
+    violations: list[ViolationRecord] = field(default_factory=list)
+
+    def earliest_issue(self, cmd: Command, banks: list[BankState],
+                       rank: RankState) -> tuple[int, str]:
+        """Earliest legal issue time for ``cmd`` and the binding constraint."""
+        t = self.timing
+        candidates: list[_Constraint] = [_Constraint(0, "power-on")]
+        if cmd.kind is CommandKind.ACT:
+            bank = banks[cmd.bank]
+            candidates.append(_Constraint(bank.last_act + t.tRC, "tRC"))
+            candidates.append(_Constraint(bank.last_pre + t.tRP, "tRP"))
+            candidates.extend(self._act_to_act(cmd, banks))
+            candidates.append(self._faw(rank))
+            candidates.append(_Constraint(rank.last_ref + t.tRFC, "tRFC"))
+        elif cmd.kind in (CommandKind.PRE, CommandKind.PREA):
+            targets = banks if cmd.kind is CommandKind.PREA else [banks[cmd.bank]]
+            for bank in targets:
+                candidates.append(_Constraint(bank.last_act + t.tRAS, "tRAS"))
+                candidates.append(_Constraint(bank.last_read + t.tRTP, "tRTP"))
+                candidates.append(
+                    _Constraint(bank.last_write_data_end + t.tWR, "tWR"))
+        elif cmd.kind is CommandKind.RD:
+            bank = banks[cmd.bank]
+            candidates.append(_Constraint(bank.last_act + t.tRCD, "tRCD"))
+            candidates.extend(self._cas_to_cas(cmd, banks))
+            candidates.append(
+                _Constraint(self._last_write_end(banks) + t.tWTR, "tWTR"))
+        elif cmd.kind is CommandKind.WR:
+            bank = banks[cmd.bank]
+            candidates.append(_Constraint(bank.last_act + t.tRCD, "tRCD"))
+            candidates.extend(self._cas_to_cas(cmd, banks))
+        elif cmd.kind is CommandKind.REF:
+            for bank in banks:
+                candidates.append(_Constraint(bank.last_pre + t.tRP, "tRP"))
+                if bank.is_open:
+                    # All banks must be precharged before refresh.
+                    candidates.append(_Constraint((1 << 62), "banks-open"))
+            candidates.append(_Constraint(rank.last_ref + t.tRFC, "tRFC"))
+        binding = max(candidates, key=lambda c: c.earliest_ps)
+        return binding.earliest_ps, binding.name
+
+    def check(self, cmd: Command, time_ps: int, banks: list[BankState],
+              rank: RankState) -> int:
+        """Validate ``cmd`` at ``time_ps``; return the violation slack (ps).
+
+        Returns 0 when the command is legal.  In strict mode an early
+        command raises; in permissive mode it is recorded and the positive
+        slack is returned so the device can model the consequences.
+        """
+        earliest, constraint = self.earliest_issue(cmd, banks, rank)
+        if time_ps >= earliest:
+            return 0
+        if self.strict:
+            raise TimingViolation(cmd, time_ps, earliest, constraint)
+        self.violations.append(
+            ViolationRecord(cmd, time_ps, earliest, constraint))
+        return earliest - time_ps
+
+    # -- helpers ----------------------------------------------------------
+
+    def _act_to_act(self, cmd: Command, banks: list[BankState]) -> list[_Constraint]:
+        t = self.timing
+        group = self.geometry.bank_group_of(cmd.bank)
+        out = []
+        for other in banks:
+            if other.index == cmd.bank:
+                continue
+            same_group = self.geometry.bank_group_of(other.index) == group
+            gap = t.tRRD_L if same_group else t.tRRD_S
+            name = "tRRD_L" if same_group else "tRRD_S"
+            out.append(_Constraint(other.last_act + gap, name))
+        return out
+
+    def _cas_to_cas(self, cmd: Command, banks: list[BankState]) -> list[_Constraint]:
+        t = self.timing
+        group = self.geometry.bank_group_of(cmd.bank)
+        out = []
+        for other in banks:
+            same_group = self.geometry.bank_group_of(other.index) == group
+            gap = t.tCCD_L if same_group else t.tCCD_S
+            name = "tCCD_L" if same_group else "tCCD_S"
+            last_cas = max(other.last_read, other.last_write)
+            out.append(_Constraint(last_cas + gap, name))
+        return out
+
+    def _faw(self, rank: RankState) -> _Constraint:
+        t = self.timing
+        if len(rank.recent_acts) < 4:
+            return _Constraint(0, "tFAW")
+        # The 4th-most-recent ACT pins the window.
+        fourth = sorted(rank.recent_acts)[-4]
+        return _Constraint(fourth + t.tFAW, "tFAW")
+
+    def _last_write_end(self, banks: list[BankState]) -> int:
+        return max(b.last_write_data_end for b in banks)

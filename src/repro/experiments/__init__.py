@@ -1,0 +1,47 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes ``run(...) -> dict`` (rows + aggregates for
+programmatic checks) and ``report(result) -> str`` (the printed
+table/figure); ``python -m repro.experiments.<name>`` regenerates one
+artifact from the command line.
+
+===========================  =======================================
+Module                       Paper artifact
+===========================  =======================================
+``tab01_platforms``          Table 1 (platform comparison)
+``fig02_breakdown``          Figure 2 (request time breakdown)
+``sec6_validation``          Section 6 validation (<0.1 % error)
+``fig08_latency_profile``    Figure 8 (lmbench latency profile)
+``fig10_rowclone_noflush``   Figure 10 (RowClone, No Flush)
+``fig11_rowclone_clflush``   Figure 11 (RowClone, CLFLUSH)
+``fig12_trcd_heatmap``       Figure 12 (min-tRCD heatmap)
+``fig13_trcd_speedup``       Figure 13 (tRCD-reduction speedup)
+``fig14_sim_speed``          Figure 14 (simulation speed)
+===========================  =======================================
+"""
+
+from repro.experiments import (
+    common,
+    fig02_breakdown,
+    fig08_latency_profile,
+    fig10_rowclone_noflush,
+    fig11_rowclone_clflush,
+    fig12_trcd_heatmap,
+    fig13_trcd_speedup,
+    fig14_sim_speed,
+    sec6_validation,
+    tab01_platforms,
+)
+
+__all__ = [
+    "common",
+    "fig02_breakdown",
+    "fig08_latency_profile",
+    "fig10_rowclone_noflush",
+    "fig11_rowclone_clflush",
+    "fig12_trcd_heatmap",
+    "fig13_trcd_speedup",
+    "fig14_sim_speed",
+    "sec6_validation",
+    "tab01_platforms",
+]

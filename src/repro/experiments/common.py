@@ -1,0 +1,46 @@
+"""Shared plumbing for the experiment harnesses.
+
+Every experiment module exposes ``run(...) -> dict`` returning the rows
+it printed, so benchmarks and tests can assert on shapes.  Problem sizes
+default to values that keep the full benchmark suite in minutes of host
+time; the ``REPRO_FULL`` environment variable switches to the paper-scale
+sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.config import SystemConfig
+from repro.core.system import EasyDRAMSystem
+from repro.core.stats import RunResult
+from repro.cpu.memtrace import Trace
+
+
+def full_runs_enabled() -> bool:
+    """Whether to run paper-scale sweeps (slow) instead of CI-scale."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0", "false")
+
+
+def polybench_size() -> str:
+    return "small" if full_runs_enabled() else "mini"
+
+
+def run_easydram(config: SystemConfig, trace: Trace, name: str) -> RunResult:
+    """One fresh EasyDRAM run of a trace."""
+    return EasyDRAMSystem(config).run(trace, workload_name=name)
+
+
+def scaled_cache_overrides() -> dict:
+    """Cache sizes scaled down with the problem sizes (see EXPERIMENTS.md).
+
+    PolyBench at paper-scale ("large") datasets spills a 512 KiB L2; our
+    reduced datasets would fit, hiding all memory behaviour.  Scaling the
+    caches with the data restores the paper's memory intensity spread.
+    """
+    from repro.core.config import CacheConfig
+
+    return {
+        "l1": CacheConfig(size_bytes=4 * 1024, assoc=2, hit_latency=2),
+        "l2": CacheConfig(size_bytes=32 * 1024, assoc=8, hit_latency=12),
+    }

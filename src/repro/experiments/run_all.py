@@ -1,0 +1,59 @@
+"""Regenerate every paper artifact in one go.
+
+``python -m repro.experiments.run_all`` prints Table 1, Figure 2, the
+Section 6 validation, and Figures 8-14 back to back (CI-scale; set
+``REPRO_FULL=1`` for the paper-scale sweeps).  Useful for producing a
+complete reproduction log in one command.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import (
+    ablations,
+    fig02_breakdown,
+    fig08_latency_profile,
+    fig10_rowclone_noflush,
+    fig11_rowclone_clflush,
+    fig12_trcd_heatmap,
+    fig13_trcd_speedup,
+    fig14_sim_speed,
+    sec6_validation,
+    tab01_platforms,
+)
+
+ARTIFACTS = (
+    ("Table 1", tab01_platforms),
+    ("Figure 2", fig02_breakdown),
+    ("Section 6 validation", sec6_validation),
+    ("Figure 8", fig08_latency_profile),
+    ("Figure 10", fig10_rowclone_noflush),
+    ("Figure 11", fig11_rowclone_clflush),
+    ("Figure 12", fig12_trcd_heatmap),
+    ("Figure 13", fig13_trcd_speedup),
+    ("Figure 14", fig14_sim_speed),
+)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    total_start = time.perf_counter()
+    for name, module in ARTIFACTS:
+        start = time.perf_counter()
+        print("=" * 72)
+        print(f"{name} ({module.__name__})")
+        print("=" * 72)
+        result = module.run()
+        print(module.report(result))
+        print(f"\n[{name} regenerated in"
+              f" {time.perf_counter() - start:.1f}s]\n")
+    print("=" * 72)
+    print("Ablations (repro.experiments.ablations)")
+    print("=" * 72)
+    print(ablations.report_all())
+    print(f"\nall artifacts regenerated in"
+          f" {time.perf_counter() - total_start:.1f}s")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

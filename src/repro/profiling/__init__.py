@@ -1,0 +1,23 @@
+"""DRAM characterization and weak-row tracking."""
+
+from repro.profiling.bloom import BloomFilter
+from repro.profiling.characterize import (
+    DEFAULT_TRCD_CANDIDATES_PS,
+    CharacterizationResult,
+    RowProfile,
+    characterize,
+    oracle_characterize,
+    profile_line,
+    profile_row,
+)
+
+__all__ = [
+    "BloomFilter",
+    "CharacterizationResult",
+    "DEFAULT_TRCD_CANDIDATES_PS",
+    "RowProfile",
+    "characterize",
+    "oracle_characterize",
+    "profile_line",
+    "profile_row",
+]

@@ -1,0 +1,169 @@
+"""DRAM access-latency characterization (Section 8.1, Figure 12).
+
+The characterization extends the software memory controller with
+*profiling requests*: for a target cache line and a candidate tRCD, the
+controller (1) initializes the line with a known pattern, (2) reads it
+back using the candidate tRCD, and (3) reports whether the data came
+back intact.  The processor sweeps rows/cache lines/banks and candidate
+tRCD values, recording the minimum reliable tRCD per row.
+
+Profiling runs through the same EasyAPI/Bender path as normal requests,
+so the measured values come from the (synthetic) cell model exactly the
+way a real chip would produce them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.system import Session
+from repro.dram.address import DramAddress
+from repro.dram.timing import ns
+
+#: Candidate tRCD values swept by Figure 12 (ns, ascending).
+DEFAULT_TRCD_CANDIDATES_PS = tuple(ns(v) for v in
+                                   (8.0, 8.5, 9.0, 9.5, 10.0, 10.5, 11.0))
+
+_PATTERN = bytes(range(64))
+
+
+@dataclass
+class RowProfile:
+    """Per-row characterization outcome."""
+
+    bank: int
+    row: int
+    min_trcd_ps: int
+
+    def is_strong(self, threshold_ps: int = ns(9.0)) -> bool:
+        return self.min_trcd_ps <= threshold_ps
+
+
+@dataclass
+class CharacterizationResult:
+    """Minimum reliable tRCD for every profiled row."""
+
+    profiles: dict[tuple[int, int], RowProfile] = field(default_factory=dict)
+    nominal_trcd_ps: int = ns(13.5)
+
+    def min_trcd(self, bank: int, row: int) -> int:
+        profile = self.profiles.get((bank, row))
+        return profile.min_trcd_ps if profile else self.nominal_trcd_ps
+
+    def weak_rows(self, threshold_ps: int = ns(9.0)) -> list[tuple[int, int]]:
+        return [key for key, p in self.profiles.items()
+                if p.min_trcd_ps > threshold_ps]
+
+    def strong_fraction(self, threshold_ps: int = ns(9.0)) -> float:
+        if not self.profiles:
+            return 0.0
+        strong = sum(1 for p in self.profiles.values()
+                     if p.min_trcd_ps <= threshold_ps)
+        return strong / len(self.profiles)
+
+    def heatmap(self, bank: int, rows: int, group: int = 64) -> list[list[float]]:
+        """Figure 12's layout: rows grouped into ``group``-row tiles.
+
+        Returns a 2D list (group id x row id within group) of minimum
+        tRCD in nanoseconds.
+        """
+        out: list[list[float]] = []
+        for g in range(-(-rows // group)):
+            line = []
+            for r in range(group):
+                row = g * group + r
+                if row >= rows:
+                    break
+                line.append(self.min_trcd(bank, row) / 1000.0)
+            out.append(line)
+        return out
+
+
+def profile_line(session: Session, dram: DramAddress, trcd_ps: int,
+                 samples: int = 1) -> bool:
+    """One profiling request: can this line be read at ``trcd_ps``?
+
+    Mirrors the three-step flow of Section 8.1; ``samples`` repeats the
+    check (real campaigns repeat to catch marginal cells).
+    """
+    ok = True
+    for _ in range(samples):
+        def stage(api, dram=dram, trcd_ps=trcd_ps):
+            t = api.tile.config.timing
+            api.charge(api.costs.profile_op)
+            # Step 1: initialize the target cache line with a known pattern.
+            api.write_sequence(dram, data=_PATTERN)
+            api.ddr_wait_ps(t.tCWL + t.tBL + t.tWR)   # write recovery
+            api.ddr_precharge(dram.bank)
+            api.wait_after_command_ps(t.tRP)
+            # Step 2: access it with the candidate tRCD.
+            api.ddr_activate(dram.bank, dram.row)
+            api.wait_after_command_ps(trcd_ps)
+            api.ddr_read(dram.bank, dram.col)
+
+        session.technique_op(stage, respect_timing=True)
+        data, reliable = session.system.tile.readback.pop()
+        # Step 3: report correctness to the processor.
+        if not reliable or data != _PATTERN:
+            ok = False
+    return ok
+
+
+def profile_row(session: Session, bank: int, row: int,
+                candidates_ps=DEFAULT_TRCD_CANDIDATES_PS,
+                cols_per_row_sampled: int = 4) -> RowProfile:
+    """Minimum reliable tRCD of a row = its weakest sampled cache line.
+
+    Section 8.2's first strategy: the weakest cache line's tRCD becomes
+    the row's tRCD.  ``cols_per_row_sampled`` spreads samples across the
+    row (profiling every column is possible but slow).
+    """
+    geometry = session.system.config.geometry
+    nominal = session.system.config.timing.tRCD
+    step = max(1, geometry.columns_per_row // cols_per_row_sampled)
+    cols = range(0, geometry.columns_per_row, step)
+    for trcd_ps in sorted(candidates_ps):
+        if trcd_ps >= nominal:
+            break
+        if all(profile_line(session, DramAddress(bank, row, col), trcd_ps)
+               for col in cols):
+            return RowProfile(bank=bank, row=row, min_trcd_ps=trcd_ps)
+    return RowProfile(bank=bank, row=row, min_trcd_ps=nominal)
+
+
+def characterize(session: Session, banks: range, rows: range,
+                 candidates_ps=DEFAULT_TRCD_CANDIDATES_PS,
+                 cols_per_row_sampled: int = 2) -> CharacterizationResult:
+    """Sweep banks x rows and build the characterization table."""
+    result = CharacterizationResult(
+        nominal_trcd_ps=session.system.config.timing.tRCD)
+    for bank in banks:
+        for row in rows:
+            profile = profile_row(
+                session, bank, row, candidates_ps, cols_per_row_sampled)
+            result.profiles[(bank, row)] = profile
+    return result
+
+
+def oracle_characterize(system_cells, geometry, banks: range,
+                        rows: range, tck_ps: int = 1500) -> CharacterizationResult:
+    """Fast characterization directly from the cell model.
+
+    Produces the same table as :func:`characterize` (the profiling flow
+    is deterministic) without paying per-line emulation cost; tests
+    assert the two agree.  Because the sequencer can only place the read
+    on interface-clock edges, a candidate tRCD is *realized* as
+    ``ceil(candidate / tCK) * tCK`` — the oracle applies the same
+    quantization the emulated path experiences.
+    """
+    result = CharacterizationResult()
+    candidates = sorted(DEFAULT_TRCD_CANDIDATES_PS)
+    for bank in banks:
+        for row in rows:
+            true_min = system_cells.row_min_trcd_ps(bank, row)
+            chosen = next(
+                (c for c in candidates
+                 if -(-c // tck_ps) * tck_ps >= true_min),
+                result.nominal_trcd_ps)
+            result.profiles[(bank, row)] = RowProfile(bank, row, chosen)
+    return result

@@ -1,0 +1,5 @@
+"""Workload generators: PolyBench kernels, lmbench, and microbenchmarks."""
+
+from repro.workloads import lmbench, microbench, polybench
+
+__all__ = ["lmbench", "microbench", "polybench"]

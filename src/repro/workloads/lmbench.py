@@ -1,0 +1,56 @@
+"""lmbench-style memory read latency microbenchmark.
+
+``lat_mem_rd`` measures load-to-use latency by chasing a pointer chain
+through a working set of a given size: every load depends on the
+previous one, so no memory-level parallelism hides the latency.  The
+paper uses this benchmark to produce Figure 8's latency profile (average
+cycles per load vs. working-set size).
+
+The chain is a seeded pseudo-random permutation of the working set's
+cache lines (one hop per line), exactly like the real benchmark's
+default "random" pattern, so hardware prefetchers (which we do not
+model anyway) could not help.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.cpu.memtrace import Access, load
+
+#: Working-set sizes of Figure 8 (1 KiB .. 16 MiB).
+FIG8_SIZES_KIB = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+    1024, 2048, 4096, 8192, 16384,
+)
+
+
+def pointer_chase(size_bytes: int, accesses: int, line_bytes: int = 64,
+                  base_addr: int = 1 << 22, seed: int = 7,
+                  gap: int = 1) -> Iterator[Access]:
+    """Dependent-load chase over ``size_bytes`` of memory.
+
+    ``accesses`` loads are issued, wrapping around the chain as needed.
+    Every load is flagged dependent so the core serializes on it.
+    """
+    if size_bytes < line_bytes:
+        raise ValueError("working set must hold at least one line")
+    lines = size_bytes // line_bytes
+    order = list(range(lines))
+    rng = random.Random(seed)
+    rng.shuffle(order)
+    issued = 0
+    while issued < accesses:
+        for index in order:
+            if issued >= accesses:
+                return
+            yield load(base_addr + index * line_bytes, gap=gap, dependent=True)
+            issued += 1
+
+
+def accesses_for(size_bytes: int, min_accesses: int = 4096,
+                 max_accesses: int = 40_000, line_bytes: int = 64) -> int:
+    """How many loads to issue for a working set: >= 2 full passes."""
+    lines = max(1, size_bytes // line_bytes)
+    return max(min_accesses, min(max_accesses, 2 * lines))

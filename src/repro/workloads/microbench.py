@@ -1,0 +1,51 @@
+"""Copy and Init microbenchmarks (Section 7.2's workloads).
+
+``Copy`` replicates an N-byte source array into a destination array;
+``Init`` fills an N-byte array with a pattern.  Each has a CPU variant
+(load/store traces, generated here) and a RowClone variant (driven by
+:mod:`repro.core.techniques.rowclone`).
+
+Accesses are modeled at cache-line granularity: one load/store per 64 B
+line with a ``gap`` accounting for the other seven register-width
+load/store pairs the core executes per line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cpu.memtrace import Access, load, store
+
+#: Array sizes of Figures 10/11 (8 KiB .. 16 MiB).
+FIG10_SIZES = tuple(8 * 1024 * (1 << i) for i in range(12))
+
+#: Instruction work per 64-byte line besides the modeled access:
+#: 7 more load/store pairs at ~1 IPC.
+_LINE_GAP = 7
+
+
+def cpu_copy_trace(src_base: int, dst_base: int, size_bytes: int,
+                   line_bytes: int = 64) -> Iterator[Access]:
+    """CPU-copy: streaming loads from src, stores to dst."""
+    lines = size_bytes // line_bytes
+    for i in range(lines):
+        offset = i * line_bytes
+        yield load(src_base + offset, gap=_LINE_GAP)
+        yield store(dst_base + offset, gap=_LINE_GAP)
+
+
+def cpu_init_trace(dst_base: int, size_bytes: int,
+                   line_bytes: int = 64) -> Iterator[Access]:
+    """CPU-init: streaming stores of a fill pattern."""
+    lines = size_bytes // line_bytes
+    for i in range(lines):
+        yield store(dst_base + i * line_bytes, gap=2 * _LINE_GAP)
+
+
+def touch_trace(base: int, size_bytes: int, line_bytes: int = 64,
+                write: bool = False) -> Iterator[Access]:
+    """Touch every line once (warms caches / establishes residency)."""
+    lines = size_bytes // line_bytes
+    for i in range(lines):
+        addr = base + i * line_bytes
+        yield store(addr, gap=1) if write else load(addr, gap=1)

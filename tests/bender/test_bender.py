@@ -1,0 +1,188 @@
+"""Tests for the DRAM Bender substrate: ISA, programs, buffers, engine."""
+
+import pytest
+
+from repro.bender import isa
+from repro.bender.buffers import BufferOverflow, CommandBuffer, ReadbackBuffer
+from repro.bender.engine import BenderEngine, ProgramError
+from repro.bender.isa import Opcode
+from repro.bender.program import BenderProgram
+from repro.dram.commands import Command, CommandKind
+
+
+@pytest.fixture
+def program(timing):
+    return BenderProgram(timing)
+
+
+@pytest.fixture
+def engine(device):
+    return BenderEngine(device)
+
+
+class TestIsa:
+    def test_ddr_requires_command(self):
+        with pytest.raises(ValueError):
+            isa.Instruction(Opcode.DDR)
+
+    def test_wait_rejects_negative(self):
+        with pytest.raises(ValueError):
+            isa.wait(-1)
+
+    def test_loop_rejects_zero(self):
+        with pytest.raises(ValueError):
+            isa.loop_begin(0)
+
+    def test_short_disassembly(self):
+        ins = isa.ddr(Command(CommandKind.ACT, bank=0, row=1))
+        assert ins.short() == "DDR ACT b0 r1"
+        assert isa.wait(4).short() == "WAIT 4"
+        assert isa.loop_begin(3).short() == "LOOP 3 {"
+        assert isa.loop_end().short() == "}"
+        assert isa.end().short() == "END"
+
+
+class TestProgramBuilder:
+    def test_fluent_chaining(self, program):
+        program.activate(0, 1).wait_ps(13_500).read(0, 2).finish()
+        kinds = [ins.opcode for ins in program.instructions]
+        assert kinds == [Opcode.DDR, Opcode.WAIT, Opcode.DDR, Opcode.END]
+
+    def test_wait_ps_rounds_up_to_interface_cycles(self, program, timing):
+        program.wait_ps(timing.tCK + 1)
+        assert program.instructions[0].operand == 2
+
+    def test_wait_ps_zero_is_elided(self, program):
+        program.wait_ps(0)
+        assert len(program) == 0
+
+    def test_unclosed_loop_rejected_at_finish(self, program):
+        program.loop(5).activate(0, 0)
+        with pytest.raises(ValueError, match="unclosed loop"):
+            program.finish()
+
+    def test_end_loop_without_loop(self, program):
+        with pytest.raises(ValueError, match="without a matching"):
+            program.end_loop()
+
+    def test_finish_idempotent(self, program):
+        program.activate(0, 0)
+        program.finish()
+        program.finish()
+        ends = [i for i in program.instructions if i.opcode is Opcode.END]
+        assert len(ends) == 1
+
+    def test_reads_counts_static_rd(self, program):
+        program.read(0, 0).read(0, 1).write(0, 2)
+        assert program.reads() == 2
+
+    def test_disassemble_indents_loops(self, program):
+        program.loop(2).activate(0, 0).end_loop().finish()
+        listing = program.disassemble()
+        assert "LOOP 2 {" in listing
+        assert "  DDR ACT b0 r0" in listing
+
+
+class TestBuffers:
+    def test_command_buffer_overflow(self):
+        buf = CommandBuffer(capacity=2)
+        buf.push(isa.wait(1))
+        buf.push(isa.wait(1))
+        with pytest.raises(BufferOverflow, match="flush_commands"):
+            buf.push(isa.wait(1))
+
+    def test_command_buffer_drain_preserves_order(self):
+        buf = CommandBuffer()
+        a, b = isa.wait(1), isa.wait(2)
+        buf.push(a)
+        buf.push(b)
+        assert buf.drain() == [a, b]
+        assert buf.empty
+
+    def test_readback_fifo_order(self):
+        buf = ReadbackBuffer()
+        buf.push(b"one", True)
+        buf.push(b"two", False)
+        assert buf.pop() == (b"one", True)
+        assert buf.pop_line() == b"two"
+
+    def test_readback_overflow(self):
+        buf = ReadbackBuffer(capacity=1)
+        buf.push(b"x", True)
+        with pytest.raises(BufferOverflow):
+            buf.push(b"y", True)
+
+    def test_readback_pop_empty(self):
+        with pytest.raises(IndexError):
+            ReadbackBuffer().pop()
+
+
+class TestEngine:
+    def test_elapsed_counts_commands_and_waits(self, engine, timing):
+        program = BenderProgram(timing)
+        program.activate(0, 1).wait_ps(timing.tRCD).read(0, 0).finish()
+        result = engine.execute(program)
+        rcd_cycles = -(-timing.tRCD // timing.tCK)
+        assert result.elapsed_ps == (2 + rcd_cycles) * timing.tCK
+        assert result.commands_issued == 2
+        assert result.reads == 1
+
+    def test_readback_captured_in_order(self, engine, device, timing):
+        program = BenderProgram(timing)
+        program.activate(0, 3).wait_ps(timing.tRCD)
+        program.read(0, 0)
+        program.wait_ps(timing.tCCD_L)
+        program.read(0, 1)
+        program.finish()
+        result = engine.execute(program)
+        assert result.readback[0] == device.default_line(0, 3, 0)
+        assert result.readback[1] == device.default_line(0, 3, 1)
+        assert result.all_reliable
+
+    def test_loop_repeats_body(self, engine, device, timing):
+        program = BenderProgram(timing)
+        program.activate(0, 0).wait_ps(timing.tRCD)
+        program.loop(5)
+        program.read(0, 0)
+        program.wait_ps(timing.tCCD_L)
+        program.end_loop()
+        program.finish()
+        result = engine.execute(program)
+        assert result.reads == 5
+        assert len(result.readback) == 5
+
+    def test_nested_loops(self, engine, timing):
+        program = BenderProgram(timing)
+        program.loop(3)
+        program.loop(4)
+        program.wait_cycles(1)
+        program.end_loop()
+        program.end_loop()
+        program.finish()
+        result = engine.execute(program)
+        assert result.elapsed_ps == 12 * timing.tCK
+
+    def test_missing_end_detected(self, engine, timing):
+        program = BenderProgram(timing)
+        program.activate(0, 0)  # no finish()
+        with pytest.raises(ProgramError, match="without END"):
+            engine.execute(program)
+
+    def test_empty_program(self, engine, timing):
+        result = engine.execute(BenderProgram(timing))
+        assert result.elapsed_ps == 0
+
+    def test_start_offset_respected(self, engine, device, timing):
+        program = BenderProgram(timing)
+        program.activate(0, 0).finish()
+        engine.execute(program, start_ps=1_000_000)
+        assert device.banks[0].last_act == 1_000_000
+
+    def test_engine_accumulates_stats(self, engine, timing):
+        program = BenderProgram(timing)
+        program.wait_cycles(10)
+        program.finish()
+        engine.execute(program)
+        engine.execute(program, start_ps=engine.device.timing.tCK * 20)
+        assert engine.programs_run == 2
+        assert engine.total_interface_cycles == 20

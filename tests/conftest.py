@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.address import AddressMapper, Geometry
+from repro.dram.cells import CellArrayModel, CellModelConfig
+from repro.dram.device import DramDevice
+from repro.dram.timing import ddr4_1333
+
+
+@pytest.fixture
+def timing():
+    return ddr4_1333()
+
+
+@pytest.fixture
+def geometry():
+    """A small geometry that keeps sweeps fast."""
+    return Geometry(bank_groups=2, banks_per_group=2, rows_per_bank=256,
+                    columns_per_row=32, subarray_rows=64)
+
+
+@pytest.fixture
+def full_geometry():
+    """The paper's full single-rank DDR4 shape (footnote 5)."""
+    return Geometry(bank_groups=4, banks_per_group=4, rows_per_bank=32768,
+                    columns_per_row=128, subarray_rows=512)
+
+
+@pytest.fixture
+def cells(geometry):
+    return CellArrayModel(geometry, CellModelConfig(seed=1234))
+
+
+@pytest.fixture
+def device(timing, geometry, cells):
+    return DramDevice(timing, geometry, cells=cells, strict_timing=False)
+
+
+@pytest.fixture
+def strict_device(timing, geometry, cells):
+    return DramDevice(timing, geometry, cells=cells, strict_timing=True)
+
+
+@pytest.fixture
+def mapper(geometry):
+    return AddressMapper(geometry, "row-bank-col")

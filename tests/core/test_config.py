@@ -1,0 +1,65 @@
+"""Tests for system configurations and presets."""
+
+import pytest
+
+from repro.core.config import (
+    ControllerConfig,
+    cortex_a57_reference,
+    jetson_nano_time_scaling,
+    pidram_no_time_scaling,
+    preset,
+    validation_reference,
+    validation_time_scaled,
+)
+
+
+class TestPresets:
+    def test_jetson_time_scaling_enabled(self):
+        assert jetson_nano_time_scaling().time_scaling_enabled
+
+    def test_no_time_scaling_preset(self):
+        cfg = pidram_no_time_scaling()
+        assert not cfg.time_scaling_enabled
+        assert cfg.processor.mlp == 1                      # in-order core
+        assert cfg.controller.pipelined_occupancy_cycles == 0
+
+    def test_jetson_models_a57(self):
+        cfg = jetson_nano_time_scaling()
+        assert cfg.processor.emulated_freq_hz == pytest.approx(1.43e9)
+        assert cfg.l2.size_bytes == 512 * 1024
+
+    def test_a57_reference_has_2mib_l2(self):
+        assert cortex_a57_reference().l2.size_bytes == 2 * 1024 * 1024
+
+    def test_validation_pair_differs_only_in_domains(self):
+        ref = validation_reference()
+        ts = validation_time_scaled()
+        assert ref.processor_domain.emulated_freq_hz == pytest.approx(1e9)
+        assert ts.processor_domain.emulated_freq_hz == pytest.approx(1e9)
+        assert ts.processor_domain.fpga_freq_hz == pytest.approx(100e6)
+        assert ref.l1 == ts.l1
+        assert ref.l2 == ts.l2
+        assert ref.timing == ts.timing
+
+    def test_preset_lookup(self):
+        assert preset("jetson-nano-ts").name == "EasyDRAM-TimeScaling"
+
+    def test_preset_unknown(self):
+        with pytest.raises(KeyError, match="unknown system preset"):
+            preset("nope")
+
+    def test_preset_overrides(self):
+        cfg = preset("jetson-nano-ts", name="custom")
+        assert cfg.name == "custom"
+
+    def test_with_overrides_returns_new_config(self):
+        cfg = jetson_nano_time_scaling()
+        other = cfg.with_overrides(name="x")
+        assert cfg.name != other.name
+
+    def test_controller_scheduler_validated(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(scheduler="lifo")
+
+    def test_default_mapping_is_skewed(self):
+        assert jetson_nano_time_scaling().mapping_scheme == "row-bank-col-skew"

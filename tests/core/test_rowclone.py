@@ -1,0 +1,151 @@
+"""Tests for the RowClone technique (end to end)."""
+
+import pytest
+
+from repro.core.config import jetson_nano_time_scaling
+from repro.core.system import EasyDRAMSystem
+from repro.core.techniques.rowclone import RowCloneTechnique
+from repro.workloads.microbench import cpu_copy_trace
+
+
+@pytest.fixture
+def session():
+    return EasyDRAMSystem(jetson_nano_time_scaling()).session("rowclone")
+
+
+@pytest.fixture
+def technique(session):
+    return RowCloneTechnique(session)
+
+
+class TestPlanning:
+    def test_rows_for_rounds_up(self, technique):
+        row_bytes = technique.geometry.row_bytes
+        assert technique.rows_for(row_bytes) == 1
+        assert technique.rows_for(row_bytes + 1) == 2
+
+    def test_copy_plan_covers_size(self, technique):
+        size = 4 * technique.geometry.row_bytes
+        plan = technique.plan_copy(size)
+        assert len(plan.pairs) == 4
+
+    def test_copy_pairs_share_subarray(self, technique):
+        plan = technique.plan_copy(8 * technique.geometry.row_bytes)
+        g = technique.geometry
+        for pair in plan.pairs:
+            if pair.reliable:
+                assert g.subarray_of(pair.src_row) == g.subarray_of(pair.dst_row)
+
+    def test_copy_allocator_avoids_unreliable_pairs(self, technique):
+        """The allocator tests candidates, so copy plans are almost
+        entirely reliable pairs (unlike prescribed init targets)."""
+        plan = technique.plan_copy(16 * technique.geometry.row_bytes)
+        reliable = sum(1 for p in plan.pairs if p.reliable)
+        assert reliable == len(plan.pairs)
+
+    def test_init_plan_one_source_per_subarray(self, technique):
+        plan = technique.plan_init(8 * technique.geometry.row_bytes)
+        for (bank, sub), src_row in plan.source_rows.items():
+            assert technique.geometry.subarray_of(src_row) == sub
+        for pair in plan.targets:
+            key = (pair.bank, technique.geometry.subarray_of(pair.dst_row))
+            assert plan.source_rows[key] == pair.src_row
+
+    def test_init_prescribed_targets_include_failures(self, technique):
+        """With a ~30% pair-failure rate, a large prescribed-target init
+        must hit some unclonable pairs (footnote 6's fallback)."""
+        plan = technique.plan_init(64 * technique.geometry.row_bytes)
+        unreliable = sum(1 for p in plan.targets if not p.reliable)
+        assert 0 < unreliable < len(plan.targets)
+
+    def test_rows_never_reused(self, technique):
+        plan_a = technique.plan_copy(4 * technique.geometry.row_bytes)
+        plan_b = technique.plan_copy(
+            4 * technique.geometry.row_bytes,
+            base_addr=64 * technique.geometry.row_bytes)
+        used = set()
+        for plan in (plan_a, plan_b):
+            for pair in plan.pairs:
+                assert (pair.bank, pair.dst_row) not in used
+                used.add((pair.bank, pair.dst_row))
+
+    def test_requires_row_contiguous_mapping(self):
+        config = jetson_nano_time_scaling(mapping_scheme="bank-interleaved")
+        session = EasyDRAMSystem(config).session("bad")
+        with pytest.raises(ValueError, match="row-contiguous"):
+            RowCloneTechnique(session)
+
+
+class TestExecution:
+    def test_copy_moves_real_data(self, session, technique):
+        size = 2 * technique.geometry.row_bytes
+        plan = technique.plan_copy(size)
+        device = session.system.device
+        for i, pair in enumerate(plan.pairs):
+            device.preload_row(pair.bank, pair.src_row,
+                               bytes([i + 1]) * technique.geometry.row_bytes)
+        technique.execute_copy(plan)
+        assert technique.copy_is_correct(plan)
+        for i, pair in enumerate(plan.pairs):
+            assert device.row_data(pair.bank, pair.dst_row) == (
+                bytes([i + 1]) * technique.geometry.row_bytes)
+
+    def test_copy_advances_emulated_time(self, session, technique):
+        plan = technique.plan_copy(technique.geometry.row_bytes)
+        before = session.processor.cycles
+        technique.execute_copy(plan)
+        assert session.processor.cycles > before
+
+    def test_clflush_copy_flushes_dirty_source(self, session, technique):
+        from repro.cpu.memtrace import store
+
+        size = technique.geometry.row_bytes
+        plan = technique.plan_copy(size)
+        session.run_trace([store(plan.src_addr + i * 64, gap=1)
+                           for i in range(size // 64)])
+        technique.execute_copy(plan, clflush=True)
+        assert technique.stats.flushed_lines > 0
+        assert technique.copy_is_correct(plan)
+
+    def test_init_falls_back_for_unreliable_targets(self, session, technique):
+        size = 32 * technique.geometry.row_bytes
+        plan = technique.plan_init(size, base_addr=1 << 22)
+        technique.execute_init(plan, include_source_setup=False)
+        expected_fallbacks = sum(1 for p in plan.targets if not p.reliable)
+        assert technique.stats.fallback_rows == expected_fallbacks
+        ok = sum(1 for p in plan.targets if p.reliable)
+        assert technique.stats.rowclone_ops == ok
+
+    def test_emulated_pair_test_agrees_with_oracle(self, session):
+        technique = RowCloneTechnique(session, use_oracle_testing=False,
+                                      test_attempts=60)
+        cells = session.system.tile.cells
+        g = technique.geometry
+        checked = 0
+        for dst in range(1, g.subarray_rows):
+            oracle = cells.rowclone_pair_reliable(0, 0, dst)
+            if oracle:
+                assert technique.test_pair_emulated(0, 0, dst, attempts=30)
+                checked += 1
+            if checked >= 2:
+                break
+        assert checked >= 1
+
+    def test_emulated_test_detects_cross_subarray(self, session):
+        technique = RowCloneTechnique(session, use_oracle_testing=False)
+        g = technique.geometry
+        assert not technique.pair_is_clonable(0, 0, g.subarray_rows)
+
+
+class TestSpeedupShape:
+    def test_rowclone_beats_cpu_copy(self):
+        """The core claim: in-DRAM copy is much faster than ld/st copy."""
+        size = 8 * 8192
+        cpu = EasyDRAMSystem(jetson_nano_time_scaling()).run(
+            cpu_copy_trace(0, 1 << 24, size), "cpu")
+        session = EasyDRAMSystem(jetson_nano_time_scaling()).session("rc")
+        technique = RowCloneTechnique(session)
+        plan = technique.plan_copy(size)
+        technique.execute_copy(plan)
+        rc = session.finish()
+        assert cpu.emulated_ps / rc.emulated_ps > 5

@@ -1,0 +1,74 @@
+"""Tests for FCFS and FR-FCFS schedulers."""
+
+import pytest
+
+from repro.core.schedulers import FCFS, FRFCFS, TableEntry, make_scheduler
+from repro.cpu.processor import MemoryRequest
+from repro.dram.address import DramAddress
+from repro.dram.bank import BankState
+
+
+def entry(order, bank=0, row=0, writeback=False):
+    request = MemoryRequest(rid=order, addr=0, is_write=writeback, tag=order,
+                            is_writeback=writeback)
+    return TableEntry(request=request, dram=DramAddress(bank, row, 0),
+                      arrival_order=order)
+
+
+@pytest.fixture
+def banks():
+    return [BankState(i) for i in range(4)]
+
+
+class TestFCFS:
+    def test_picks_oldest(self, banks):
+        table = [entry(3), entry(1), entry(2)]
+        assert FCFS().select(table, banks).arrival_order == 1
+
+    def test_empty_table_rejected(self, banks):
+        with pytest.raises(ValueError):
+            FCFS().select([], banks)
+
+    def test_decision_cost_grows_with_table(self):
+        s = FCFS()
+        assert s.decision_cost(10) > s.decision_cost(1)
+
+
+class TestFRFCFS:
+    def test_prefers_row_hit_over_older_miss(self, banks):
+        banks[0].activate(7, 0)
+        table = [entry(1, bank=0, row=3), entry(2, bank=0, row=7)]
+        assert FRFCFS().select(table, banks).arrival_order == 2
+
+    def test_falls_back_to_oldest_without_hits(self, banks):
+        table = [entry(5, row=1), entry(2, row=2), entry(9, row=3)]
+        assert FRFCFS().select(table, banks).arrival_order == 2
+
+    def test_age_breaks_ties_between_hits(self, banks):
+        banks[0].activate(7, 0)
+        table = [entry(4, row=7), entry(2, row=7)]
+        assert FRFCFS().select(table, banks).arrival_order == 2
+
+    def test_reads_beat_writebacks_even_on_row_hits(self, banks):
+        banks[0].activate(7, 0)
+        table = [entry(1, row=7, writeback=True), entry(5, row=3)]
+        chosen = FRFCFS().select(table, banks)
+        assert chosen.arrival_order == 5  # the read, despite row miss
+
+    def test_writeback_selected_when_alone(self, banks):
+        table = [entry(1, writeback=True)]
+        assert FRFCFS().select(table, banks).arrival_order == 1
+
+    def test_decision_cost_scales(self):
+        s = FRFCFS()
+        assert s.decision_cost(8) == 4 + 16
+
+
+class TestFactory:
+    def test_make_known(self):
+        assert make_scheduler("fcfs").name == "fcfs"
+        assert make_scheduler("fr-fcfs").name == "fr-fcfs"
+
+    def test_make_unknown(self):
+        with pytest.raises(ValueError):
+            make_scheduler("random")

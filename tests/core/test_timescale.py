@@ -1,0 +1,99 @@
+"""Tests for clock domains and time-scaling counters."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.timescale import ClockDomain, TimeScalingCounters
+
+
+class TestClockDomain:
+    def test_scaling_active_detection(self):
+        assert ClockDomain("p", 100e6, 1e9).scaling_active
+        assert not ClockDomain("p", 1e9, 1e9).scaling_active
+
+    def test_scale_factor(self):
+        assert ClockDomain("p", 100e6, 1e9).scale_factor == pytest.approx(10.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ClockDomain("p", 0, 1e9)
+
+    def test_cycles_to_emulated_ps(self):
+        domain = ClockDomain("mc", 100e6, 1e9)
+        # 60 controller cycles at the *emulated* 1 GHz = 60 ns.
+        assert domain.cycles_to_emulated_ps(60) == 60_000
+
+    def test_measure_quantizes_up_to_fpga_grid(self):
+        domain = ClockDomain("b", 333e6, 333e6)
+        period = domain.fpga_period_ps
+        assert domain.measure_ps(1) == period
+        assert domain.measure_ps(period) == period
+        assert domain.measure_ps(period + 1) == 2 * period
+
+    def test_measure_zero(self):
+        assert ClockDomain("b", 1e9, 1e9).measure_ps(0) == 0
+
+    def test_ps_to_emulated_cycles_rounds_up(self):
+        domain = ClockDomain("p", 100e6, 1e9)
+        assert domain.ps_to_emulated_cycles(1001) == 2
+        assert domain.ps_to_emulated_cycles(1000) == 1
+
+    @given(duration=st.integers(1, 10**8))
+    @settings(max_examples=100)
+    def test_measurement_error_bounded_by_one_cycle(self, duration):
+        """Quantization never adds more than one FPGA period — the basis
+        of the paper's <0.1% validation result."""
+        domain = ClockDomain("b", 333e6, 333e6)
+        measured = domain.measure_ps(duration)
+        assert 0 <= measured - duration < domain.fpga_period_ps
+
+
+class TestCounters:
+    def test_initial_state(self):
+        c = TimeScalingCounters()
+        assert (c.processor, c.memory_controller, c.global_fpga) == (0, 0, 0)
+        assert not c.critical_mode
+
+    def test_enter_exit_critical(self):
+        c = TimeScalingCounters()
+        c.enter_critical()
+        assert c.critical_mode
+        assert c.critical_entries == 1
+        c.exit_critical()
+        assert not c.critical_mode
+
+    def test_enter_critical_idempotent(self):
+        c = TimeScalingCounters()
+        c.enter_critical()
+        c.enter_critical()
+        assert c.critical_entries == 1
+
+    def test_exit_synchronizes_processor_to_mc(self):
+        """Fig 5: when critical mode ends the processor counter catches
+        up to the memory-controller counter."""
+        c = TimeScalingCounters()
+        c.enter_critical()
+        c.advance_processor(100)
+        c.advance_memory_controller(250)
+        c.exit_critical()
+        assert c.processor == 250
+
+    def test_processor_counter_monotonic(self):
+        c = TimeScalingCounters()
+        c.advance_processor(100)
+        c.advance_processor(50)   # absorbed, not an error
+        assert c.processor == 100
+
+    def test_mc_counter_rejects_regression(self):
+        c = TimeScalingCounters()
+        c.advance_memory_controller(100)
+        with pytest.raises(ValueError):
+            c.advance_memory_controller(50)
+
+    def test_global_counter(self):
+        c = TimeScalingCounters()
+        c.advance_global(10)
+        c.advance_global(5)
+        assert c.global_fpga == 15
+        with pytest.raises(ValueError):
+            c.advance_global(-1)

@@ -1,0 +1,123 @@
+"""Tests for physical <-> DRAM address mapping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.address import AddressMapper, DramAddress, Geometry
+
+
+class TestGeometry:
+    def test_num_banks(self, geometry):
+        assert geometry.num_banks == 4
+
+    def test_row_bytes(self, geometry):
+        assert geometry.row_bytes == 32 * 64
+
+    def test_total_bytes(self, geometry):
+        assert geometry.total_bytes == 4 * 256 * 32 * 64
+
+    def test_subarrays_per_bank(self, geometry):
+        assert geometry.subarrays_per_bank == 4
+
+    def test_subarray_of(self, geometry):
+        assert geometry.subarray_of(0) == 0
+        assert geometry.subarray_of(63) == 0
+        assert geometry.subarray_of(64) == 1
+
+    def test_bank_group_of(self, geometry):
+        assert geometry.bank_group_of(0) == 0
+        assert geometry.bank_group_of(1) == 0
+        assert geometry.bank_group_of(2) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Geometry(bank_groups=0)
+
+    def test_rejects_oversized_subarray(self):
+        with pytest.raises(ValueError):
+            Geometry(rows_per_bank=64, subarray_rows=128)
+
+
+class TestMapperSchemes:
+    @pytest.mark.parametrize("scheme", AddressMapper.SCHEMES)
+    def test_roundtrip_samples(self, geometry, scheme):
+        mapper = AddressMapper(geometry, scheme)
+        for addr in range(0, geometry.total_bytes, 64 * 97):
+            dram = mapper.to_dram(addr)
+            assert mapper.to_physical(dram) == addr - (addr % 64)
+
+    def test_unknown_scheme(self, geometry):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            AddressMapper(geometry, "banana")
+
+    def test_row_contiguous_schemes(self, geometry):
+        assert AddressMapper(geometry, "row-bank-col").row_is_contiguous()
+        assert AddressMapper(geometry, "row-bank-col-skew").row_is_contiguous()
+        assert not AddressMapper(geometry, "bank-interleaved").row_is_contiguous()
+
+    def test_row_base_physical_row_aligned(self, geometry):
+        mapper = AddressMapper(geometry, "row-bank-col")
+        base = mapper.row_base_physical(2, 5)
+        assert base % geometry.row_bytes == 0
+        dram = mapper.to_dram(base)
+        assert (dram.bank, dram.row, dram.col) == (2, 5, 0)
+
+    def test_contiguous_row_within_one_bank(self, geometry):
+        """All lines of one physical 'row span' stay in one (bank, row)."""
+        mapper = AddressMapper(geometry, "row-bank-col-skew")
+        base = mapper.row_base_physical(1, 7)
+        coords = {
+            (mapper.to_dram(base + i * 64).bank, mapper.to_dram(base + i * 64).row)
+            for i in range(geometry.columns_per_row)
+        }
+        assert len(coords) == 1
+
+    def test_skew_separates_power_of_two_strides(self, full_geometry):
+        """The motivating case: src at 0 and dst at a big power of two
+        must not land in the same bank (row-conflict ping-pong)."""
+        mapper = AddressMapper(full_geometry, "row-bank-col-skew")
+        src = mapper.to_dram(0)
+        dst = mapper.to_dram(1 << 26)
+        assert src.bank != dst.bank
+
+    def test_bank_interleaved_rotates_lines(self, geometry):
+        mapper = AddressMapper(geometry, "bank-interleaved")
+        banks = [mapper.to_dram(i * 64).bank for i in range(geometry.num_banks)]
+        assert banks == list(range(geometry.num_banks))
+
+    def test_out_of_range_coordinate(self, geometry, mapper):
+        with pytest.raises(ValueError):
+            mapper.to_physical(DramAddress(bank=99, row=0, col=0))
+        with pytest.raises(ValueError):
+            mapper.to_physical(DramAddress(bank=0, row=10**6, col=0))
+        with pytest.raises(ValueError):
+            mapper.to_physical(DramAddress(bank=0, row=0, col=10**6))
+
+    def test_negative_physical(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.to_dram(-1)
+
+
+@settings(max_examples=200)
+@given(line=st.integers(min_value=0, max_value=4 * 256 * 32 - 1),
+       scheme=st.sampled_from(AddressMapper.SCHEMES))
+def test_roundtrip_property(line, scheme):
+    """to_physical(to_dram(x)) == line-aligned x for every scheme."""
+    geometry = Geometry(bank_groups=2, banks_per_group=2, rows_per_bank=256,
+                        columns_per_row=32, subarray_rows=64)
+    mapper = AddressMapper(geometry, scheme)
+    addr = line * 64
+    assert mapper.to_physical(mapper.to_dram(addr)) == addr
+
+
+@settings(max_examples=100)
+@given(line_a=st.integers(min_value=0, max_value=4 * 256 * 32 - 1),
+       line_b=st.integers(min_value=0, max_value=4 * 256 * 32 - 1),
+       scheme=st.sampled_from(AddressMapper.SCHEMES))
+def test_mapping_is_injective(line_a, line_b, scheme):
+    """Different lines never map to the same DRAM coordinate."""
+    geometry = Geometry(bank_groups=2, banks_per_group=2, rows_per_bank=256,
+                        columns_per_row=32, subarray_rows=64)
+    mapper = AddressMapper(geometry, scheme)
+    if line_a != line_b:
+        assert mapper.to_dram(line_a * 64) != mapper.to_dram(line_b * 64)

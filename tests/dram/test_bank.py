@@ -1,0 +1,74 @@
+"""Tests for per-bank and rank state tracking."""
+
+from repro.dram.bank import NEVER, BankState, RankState
+from repro.dram.commands import Command, CommandKind
+
+
+class TestBankState:
+    def test_initial_state(self):
+        bank = BankState(0)
+        assert not bank.is_open
+        assert bank.last_act == NEVER
+
+    def test_activate(self):
+        bank = BankState(0)
+        bank.activate(7, 1000)
+        assert bank.is_open
+        assert bank.open_row == 7
+        assert bank.last_act == 1000
+        assert bank.act_count == 1
+
+    def test_precharge_remembers_previous_row(self):
+        bank = BankState(0)
+        bank.activate(7, 0)
+        bank.precharge(50_000)
+        assert bank.open_row is None
+        assert bank.previously_open_row == 7
+        assert bank.last_pre == 50_000
+
+    def test_write_records_data_end(self):
+        bank = BankState(0)
+        bank.write(100, 120)
+        assert bank.last_write == 100
+        assert bank.last_write_data_end == 120
+
+    def test_reset(self):
+        bank = BankState(0)
+        bank.activate(3, 10)
+        bank.read(20)
+        bank.reset()
+        assert bank.open_row is None
+        assert bank.last_act == NEVER
+        assert bank.act_count == 0
+
+
+class TestRankState:
+    def test_faw_window_pruning(self):
+        rank = RankState()
+        for t in (0, 100, 200, 300, 40_000):
+            rank.record_act(t, window_ps=30_000)
+        # Entries older than 40_000 - 30_000 = 10_000 were pruned.
+        assert rank.recent_acts == [40_000]
+
+    def test_acts_in_window(self):
+        rank = RankState()
+        for t in (0, 10_000, 20_000, 29_000):
+            rank.record_act(t, window_ps=100_000)
+        assert rank.acts_in_window(30_000, 30_000) == 3
+
+
+class TestCommands:
+    def test_short_rendering(self):
+        assert Command(CommandKind.ACT, bank=1, row=2).short() == "ACT b1 r2"
+        assert Command(CommandKind.RD, bank=1, col=3).short() == "RD b1 c3"
+        assert Command(CommandKind.PRE, bank=4).short() == "PRE b4"
+        assert Command(CommandKind.REF).short() == "REF"
+
+    def test_negative_coordinates_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            Command(CommandKind.ACT, bank=-1)
+
+    def test_targets_bank(self):
+        assert Command(CommandKind.ACT).targets_bank
+        assert not Command(CommandKind.REF).targets_bank

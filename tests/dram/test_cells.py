@@ -1,0 +1,139 @@
+"""Tests for the synthetic cell-behaviour model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.address import Geometry
+from repro.dram.cells import CellArrayModel, CellModelConfig
+from repro.dram.timing import ns
+
+
+@pytest.fixture
+def model(geometry):
+    return CellArrayModel(geometry, CellModelConfig(seed=42))
+
+
+class TestRowStrength:
+    def test_deterministic(self, geometry):
+        a = CellArrayModel(geometry, CellModelConfig(seed=7))
+        b = CellArrayModel(geometry, CellModelConfig(seed=7))
+        for bank in range(geometry.num_banks):
+            for row in range(0, geometry.rows_per_bank, 17):
+                assert a.row_min_trcd_ps(bank, row) == b.row_min_trcd_ps(bank, row)
+
+    def test_seed_changes_profile(self, geometry):
+        a = CellArrayModel(geometry, CellModelConfig(seed=7))
+        b = CellArrayModel(geometry, CellModelConfig(seed=8))
+        diffs = sum(
+            a.row_min_trcd_ps(0, row) != b.row_min_trcd_ps(0, row)
+            for row in range(geometry.rows_per_bank))
+        assert diffs > 0
+
+    def test_all_rows_below_nominal(self, model, geometry):
+        """Paper: every row operates below the nominal 13.5 ns."""
+        for bank in range(geometry.num_banks):
+            for row in range(geometry.rows_per_bank):
+                assert model.row_min_trcd_ps(bank, row) < ns(13.5)
+
+    def test_strong_rows_dominate(self, geometry):
+        """Most rows must be strong (paper: 84.5%); allow model slack."""
+        model = CellArrayModel(geometry)
+        frac = model.strong_fraction()
+        assert 0.6 < frac < 0.98
+
+    def test_strength_threshold_consistency(self, model, geometry):
+        for row in range(geometry.rows_per_bank):
+            strong = model.row_is_strong(0, row)
+            assert strong == (model.row_min_trcd_ps(0, row) <= ns(9.0))
+
+    def test_read_reliability_boundary(self, model):
+        min_trcd = model.row_min_trcd_ps(0, 0)
+        assert model.read_is_reliable(0, 0, min_trcd)
+        assert not model.read_is_reliable(0, 0, min_trcd - 1)
+
+    def test_weak_rows_cluster(self, geometry):
+        """Weakness is decided per 64-row tile, so rows inside one tile
+        agree on strength far more often than across tiles."""
+        model = CellArrayModel(geometry, CellModelConfig(seed=3))
+        tiles = {}
+        for row in range(geometry.rows_per_bank):
+            tiles.setdefault(row // 64, []).append(model.row_is_strong(0, row))
+        for flags in tiles.values():
+            assert len(set(flags)) == 1  # whole tile agrees
+
+
+class TestRowClonePairs:
+    def test_cross_subarray_never_clonable(self, model, geometry):
+        sub = geometry.subarray_rows
+        assert not model.rowclone_pair_reliable(0, 0, sub)
+        assert not model.rowclone_copy_succeeds(0, 0, sub, attempt=1)
+
+    def test_same_row_trivially_reliable(self, model):
+        assert model.rowclone_pair_reliable(0, 5, 5)
+
+    def test_pair_symmetry(self, model, geometry):
+        for a, b in ((0, 1), (3, 9), (10, 60)):
+            assert (model.rowclone_pair_reliable(0, a, b)
+                    == model.rowclone_pair_reliable(0, b, a))
+
+    def test_some_pairs_fail(self, geometry):
+        model = CellArrayModel(geometry)
+        sub = geometry.subarray_rows
+        outcomes = {
+            model.rowclone_pair_reliable(0, src, dst)
+            for src in range(0, sub, 7) for dst in range(src + 1, sub, 13)
+        }
+        assert outcomes == {True, False}
+
+    def test_reliable_pair_always_copies(self, model, geometry):
+        sub = geometry.subarray_rows
+        for src in range(sub):
+            for dst in range(src + 1, sub):
+                if model.rowclone_pair_reliable(0, src, dst):
+                    assert all(model.rowclone_copy_succeeds(0, src, dst, k)
+                               for k in range(50))
+                    return
+        pytest.skip("no reliable pair in subarray 0")
+
+    def test_unreliable_pair_fails_sometimes(self, geometry):
+        model = CellArrayModel(geometry, CellModelConfig(
+            seed=11, unreliable_pair_error_rate=0.5))
+        sub = geometry.subarray_rows
+        for src in range(sub):
+            for dst in range(src + 1, sub):
+                if not model.rowclone_pair_reliable(0, src, dst):
+                    outcomes = {model.rowclone_copy_succeeds(0, src, dst, k)
+                                for k in range(200)}
+                    assert False in outcomes
+                    return
+        pytest.fail("expected at least one unreliable pair")
+
+
+class TestCorruption:
+    def test_corrupt_differs(self, model):
+        data = bytes(64)
+        assert model.corrupt(data, 0, 0, salt=1) != data
+
+    def test_corrupt_preserves_length(self, model):
+        data = bytes(range(64))
+        assert len(model.corrupt(data, 0, 0, salt=1)) == 64
+
+    def test_corrupt_deterministic(self, model):
+        data = bytes(range(64))
+        assert (model.corrupt(data, 1, 2, salt=3)
+                == model.corrupt(data, 1, 2, salt=3))
+
+    def test_corrupt_empty(self, model):
+        assert model.corrupt(b"", 0, 0, salt=1) == b""
+
+
+@settings(max_examples=60)
+@given(bank=st.integers(0, 3), row=st.integers(0, 255),
+       trcd=st.integers(ns(8.0), ns(13.5)))
+def test_reliability_monotonic_property(bank, row, trcd):
+    """If a read is reliable at tRCD, it is reliable at any larger tRCD."""
+    geometry = Geometry(bank_groups=2, banks_per_group=2, rows_per_bank=256,
+                        columns_per_row=32, subarray_rows=64)
+    model = CellArrayModel(geometry, CellModelConfig(seed=42))
+    if model.read_is_reliable(bank, row, trcd):
+        assert model.read_is_reliable(bank, row, trcd + 500)

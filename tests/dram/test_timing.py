@@ -1,0 +1,105 @@
+"""Tests for DRAM timing parameters and time conversions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.timing import (
+    PS_PER_NS,
+    PS_PER_S,
+    cycles_for_ps,
+    ddr4_1333,
+    ddr4_2400,
+    ms,
+    ns,
+    period_ps,
+    preset,
+    us,
+)
+
+
+class TestConversions:
+    def test_ns(self):
+        assert ns(13.5) == 13_500
+
+    def test_us(self):
+        assert us(7.8) == 7_800_000
+
+    def test_ms(self):
+        assert ms(64.0) == 64_000_000_000
+
+    def test_period_1ghz(self):
+        assert period_ps(1e9) == 1000
+
+    def test_period_100mhz(self):
+        assert period_ps(100e6) == 10_000
+
+    def test_period_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            period_ps(0)
+        with pytest.raises(ValueError):
+            period_ps(-5)
+
+    def test_cycles_for_exact_multiple(self):
+        assert cycles_for_ps(10_000, 1e9) == 10
+
+    def test_cycles_for_rounds_up(self):
+        assert cycles_for_ps(10_001, 1e9) == 11
+
+    def test_cycles_for_zero(self):
+        assert cycles_for_ps(0, 1e9) == 0
+        assert cycles_for_ps(-5, 1e9) == 0
+
+    @given(st.integers(min_value=1, max_value=10**9),
+           st.sampled_from([50e6, 100e6, 333e6, 1e9, 1.43e9]))
+    def test_cycles_cover_duration(self, duration, freq):
+        """The quantized cycle count always covers the duration."""
+        cycles = cycles_for_ps(duration, freq)
+        assert cycles * period_ps(freq) >= duration
+        assert (cycles - 1) * period_ps(freq) < duration
+
+
+class TestPresets:
+    def test_ddr4_1333_trcd_matches_datasheet(self):
+        assert ddr4_1333().tRCD == ns(13.5)
+
+    def test_ddr4_1333_tck(self):
+        assert ddr4_1333().tCK == ns(1.5)
+
+    def test_refresh_window_is_64ms(self):
+        assert ddr4_1333().tREFW == ms(64)
+
+    def test_refresh_interval_is_7_8us(self):
+        assert ddr4_1333().tREFI == us(7.8)
+
+    def test_trc_is_tras_plus_trp(self):
+        t = ddr4_1333()
+        assert t.tRC == t.tRAS + t.tRP
+
+    def test_ddr4_2400_is_faster(self):
+        assert ddr4_2400().tCK < ddr4_1333().tCK
+
+    def test_read_latency_composition(self):
+        t = ddr4_1333()
+        assert t.read_latency == t.tRCD + t.tCL + t.tBL
+
+    def test_peak_bandwidth(self):
+        assert ddr4_1333().peak_bandwidth_bytes_per_s == pytest.approx(
+            1333e6 * 8)
+
+    def test_preset_lookup(self):
+        assert preset("DDR4-1333").name == "DDR4-1333"
+
+    def test_preset_unknown(self):
+        with pytest.raises(KeyError, match="unknown timing preset"):
+            preset("DDR9")
+
+    def test_scaled_overrides_one_field(self):
+        t = ddr4_1333()
+        reduced = t.scaled(tRCD=ns(9.0))
+        assert reduced.tRCD == ns(9.0)
+        assert reduced.tRP == t.tRP
+        assert t.tRCD == ns(13.5)  # original untouched
+
+    def test_timing_is_frozen(self):
+        with pytest.raises(Exception):
+            ddr4_1333().tRCD = 1

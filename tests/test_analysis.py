@@ -1,0 +1,105 @@
+"""Tests for reporting and charting helpers."""
+
+import os
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    arith_mean,
+    bar_chart,
+    format_table,
+    geomean,
+    heatmap,
+    line_chart,
+    write_csv,
+)
+
+
+class TestAggregates:
+    def test_geomean_basic(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_geomean_ignores_nonpositive(self):
+        assert geomean([4, 0, -1, 1]) == pytest.approx(2.0)
+
+    def test_geomean_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_arith_mean(self):
+        assert arith_mean([1, 2, 3]) == pytest.approx(2.0)
+        assert arith_mean([]) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_geomean_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) * 0.999 <= g <= max(values) * 1.001
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e3), min_size=1,
+                    max_size=30))
+    def test_geomean_at_most_arith_mean(self, values):
+        """AM-GM inequality."""
+        assert geomean(values) <= arith_mean(values) * 1.0001
+
+
+class TestTable:
+    def test_columns_aligned(self):
+        text = format_table(["name", "value"],
+                            [("a", 1.5), ("long-name", 20000.0)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        dash_line = lines[1]
+        assert set(dash_line) <= {"-", " "}
+        # The dash ruler spans the full column widths.
+        assert len(dash_line) >= max(len(lines[2].rstrip()),
+                                     len(lines[3].rstrip())) - 1
+
+    def test_title_included(self):
+        assert format_table(["a"], [(1,)], title="My Title").startswith(
+            "My Title")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [(0.123456,), (12345.6,)])
+        assert "0.123" in text
+        assert "12,346" in text
+
+
+class TestCharts:
+    def test_bar_chart_renders_all_series(self):
+        text = bar_chart(["a", "b"], {"x": [1.0, 10.0], "y": [5.0, 2.0]})
+        assert text.count("#") > 4
+        assert "10.00" in text
+
+    def test_bar_chart_log_scale(self):
+        text = bar_chart(["a", "b"], {"x": [1.0, 1000.0]}, log=True)
+        assert "#" in text
+
+    def test_bar_chart_empty(self):
+        assert bar_chart([], {}, title="t") == "t"
+
+    def test_line_chart_has_axis_and_legend(self):
+        text = line_chart([1, 2, 3], {"latency": [10.0, 20.0, 30.0]})
+        assert "o=latency" in text
+        assert "+" in text  # the x axis
+
+    def test_heatmap_scale_annotation(self):
+        text = heatmap([[8.0, 10.5], [9.0, 9.5]])
+        assert "scale:" in text
+        assert "8.00" in text and "10.50" in text
+
+    def test_heatmap_uses_density_ramp(self):
+        text = heatmap([[0.0, 1.0]])
+        first_line = text.splitlines()[0]
+        assert first_line[0] != first_line[1]
+
+
+class TestCsv:
+    def test_write_and_readback(self, tmp_path):
+        path = os.path.join(tmp_path, "out", "rows.csv")
+        write_csv(path, ["a", "b"], [(1, 2), (3, 4)])
+        with open(path) as f:
+            content = f.read()
+        assert content.splitlines()[0] == "a,b"
+        assert "3,4" in content

@@ -1,0 +1,108 @@
+"""Tests for DRAM characterization (profiling requests)."""
+
+import pytest
+
+from repro.core.config import jetson_nano_time_scaling
+from repro.core.system import EasyDRAMSystem
+from repro.dram.address import DramAddress
+from repro.dram.timing import ns
+from repro.profiling.characterize import (
+    DEFAULT_TRCD_CANDIDATES_PS,
+    characterize,
+    oracle_characterize,
+    profile_line,
+    profile_row,
+)
+
+
+@pytest.fixture
+def system():
+    return EasyDRAMSystem(jetson_nano_time_scaling())
+
+
+@pytest.fixture
+def session(system):
+    return system.session("profiling")
+
+
+class TestProfileLine:
+    def test_nominal_trcd_always_passes(self, session):
+        dram = DramAddress(0, 0, 0)
+        assert profile_line(session, dram, ns(13.0))
+
+    def test_too_aggressive_trcd_fails(self, session, system):
+        cells = system.tile.cells
+        # ns(8.0) is realized as 9.0 ns on the 1.5 ns command grid, so a
+        # row weaker than 9.0 ns must fail the probe.
+        g = system.config.geometry
+        bank, row = next(
+            (b, r) for b in range(g.num_banks) for r in range(g.rows_per_bank)
+            if cells.row_min_trcd_ps(b, r) > ns(9.0))
+        assert not profile_line(session, DramAddress(bank, row, 0), ns(8.0))
+
+    def test_profiling_advances_emulated_time(self, session):
+        before = session.processor.cycles
+        profile_line(session, DramAddress(0, 0, 0), ns(13.0))
+        assert session.processor.cycles > before
+
+
+class TestProfileRow:
+    def test_matches_cell_model(self, session, system):
+        cells = system.tile.cells
+        tck = system.config.timing.tCK
+        for row in (0, 7, 33):
+            profile = profile_row(session, 0, row)
+            true_min = cells.row_min_trcd_ps(0, row)
+            # The profiled value is the smallest candidate whose grid-
+            # realized delay covers the true minimum (the sequencer can
+            # only place reads on interface-clock edges).
+            expected = next(
+                (c for c in sorted(DEFAULT_TRCD_CANDIDATES_PS)
+                 if -(-c // tck) * tck >= true_min),
+                system.config.timing.tRCD)
+            assert profile.min_trcd_ps == expected
+
+    def test_strong_classification(self, session):
+        profile = profile_row(session, 0, 0)
+        assert profile.is_strong() == (profile.min_trcd_ps <= ns(9.0))
+
+
+class TestCharacterize:
+    def test_emulated_equals_oracle(self, session, system):
+        emulated = characterize(session, range(1), range(0, 32, 4),
+                                cols_per_row_sampled=1)
+        oracle = oracle_characterize(
+            system.tile.cells, system.config.geometry, range(1),
+            range(0, 32, 4))
+        for key, profile in emulated.profiles.items():
+            assert oracle.profiles[key].min_trcd_ps == profile.min_trcd_ps
+
+    def test_strong_fraction_in_paper_band(self, system):
+        g = system.config.geometry
+        oracle = oracle_characterize(system.tile.cells, g, range(2),
+                                     range(1024))
+        assert 0.6 < oracle.strong_fraction() < 0.98
+
+    def test_weak_rows_listed(self, system):
+        g = system.config.geometry
+        oracle = oracle_characterize(system.tile.cells, g, range(2),
+                                     range(512))
+        weak = oracle.weak_rows()
+        assert weak
+        for bank, row in weak:
+            assert oracle.min_trcd(bank, row) > ns(9.0)
+
+    def test_unprofiled_row_defaults_to_nominal(self):
+        from repro.profiling.characterize import CharacterizationResult
+
+        result = CharacterizationResult()
+        assert result.min_trcd(0, 99999) == result.nominal_trcd_ps
+
+    def test_heatmap_shape(self, system):
+        g = system.config.geometry
+        oracle = oracle_characterize(system.tile.cells, g, range(1),
+                                     range(256))
+        grid = oracle.heatmap(0, 256, group=64)
+        assert len(grid) == 4
+        assert all(len(row) == 64 for row in grid)
+        assert all(8.0 <= v <= 13.5 for row in grid for v in row)

@@ -1,0 +1,114 @@
+"""Tests for workload generators: PolyBench, lmbench, microbenchmarks."""
+
+import pytest
+
+from repro.cpu.memtrace import FLAG_DEPENDENT, summarize, take
+from repro.workloads import lmbench, microbench, polybench
+
+
+class TestPolybench:
+    def test_at_least_28_kernels(self):
+        """The paper evaluates 28 PolyBench workloads."""
+        assert len(polybench.names()) >= 28
+
+    def test_fig13_kernels_all_registered(self):
+        for name in polybench.FIG13_KERNELS:
+            assert name in polybench.names()
+
+    @pytest.mark.parametrize("name", polybench.names())
+    def test_every_kernel_generates(self, name):
+        stats = summarize(take(polybench.trace(name, "mini"), 2000))
+        assert stats.accesses > 0
+        assert stats.reads > 0
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError, match="unknown PolyBench kernel"):
+            polybench.trace("quicksort")
+
+    def test_unknown_size(self):
+        with pytest.raises(KeyError, match="unknown size class"):
+            polybench.trace("gemm", "huge")
+
+    def test_sizes_scale_access_counts(self):
+        mini = summarize(polybench.trace("gemm", "mini")).accesses
+        small = summarize(polybench.trace("gemm", "small")).accesses
+        assert small > 2 * mini
+
+    def test_kernels_are_deterministic(self):
+        a = list(take(polybench.trace("mvt", "mini"), 500))
+        b = list(take(polybench.trace("mvt", "mini"), 500))
+        assert a == b
+
+    def test_gemm_access_count_matches_loop_nest(self):
+        d = polybench.SIZES["mini"]
+        stats = summarize(polybench.trace("gemm", "mini"))
+        # Per (i, j): load C + m*(load A + load B) + store C.
+        expected = d.n * d.n * (2 + 2 * d.m)
+        assert stats.accesses == expected
+
+    def test_durbin_has_tiny_footprint(self):
+        """durbin is the paper's least memory-intensive workload."""
+        durbin = summarize(polybench.trace("durbin", "mini")).footprint_bytes
+        gemver = summarize(polybench.trace("gemver", "mini")).footprint_bytes
+        assert durbin < gemver / 10
+
+    def test_writes_present_in_inplace_kernels(self):
+        stats = summarize(take(polybench.trace("seidel-2d", "mini"), 5000))
+        assert stats.writes > 0
+
+
+class TestLmbench:
+    def test_chase_is_fully_dependent(self):
+        accesses = list(lmbench.pointer_chase(4096, 100))
+        assert all(a.flags & FLAG_DEPENDENT for a in accesses)
+        assert len(accesses) == 100
+
+    def test_chase_covers_working_set(self):
+        size = 64 * 64
+        accesses = list(lmbench.pointer_chase(size, 64))
+        addrs = {a.addr for a in accesses}
+        assert len(addrs) == 64  # one hop per line, all distinct
+
+    def test_chase_wraps_around(self):
+        accesses = list(lmbench.pointer_chase(64 * 8, 20))
+        assert len(accesses) == 20
+
+    def test_chase_deterministic_per_seed(self):
+        a = list(lmbench.pointer_chase(4096, 50, seed=3))
+        b = list(lmbench.pointer_chase(4096, 50, seed=3))
+        c = list(lmbench.pointer_chase(4096, 50, seed=4))
+        assert a == b
+        assert a != c
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            list(lmbench.pointer_chase(32, 10))
+
+    def test_accesses_for_two_passes(self):
+        assert lmbench.accesses_for(64 * 10_000) == 20_000
+        assert lmbench.accesses_for(64) == 4096  # floor
+        assert lmbench.accesses_for(1 << 30) == 40_000  # cap
+
+
+class TestMicrobench:
+    def test_copy_trace_alternates_load_store(self):
+        trace = list(microbench.cpu_copy_trace(0, 1 << 20, 4 * 64))
+        assert len(trace) == 8
+        assert not trace[0].is_write and trace[1].is_write
+        assert trace[0].addr == 0 and trace[1].addr == 1 << 20
+
+    def test_init_trace_is_stores_only(self):
+        trace = list(microbench.cpu_init_trace(0, 8 * 64))
+        assert len(trace) == 8
+        assert all(a.is_write for a in trace)
+
+    def test_touch_trace_read_and_write_modes(self):
+        reads = list(microbench.touch_trace(0, 4 * 64))
+        writes = list(microbench.touch_trace(0, 4 * 64, write=True))
+        assert not any(a.is_write for a in reads)
+        assert all(a.is_write for a in writes)
+
+    def test_fig10_sizes_span_8k_to_16m(self):
+        assert microbench.FIG10_SIZES[0] == 8 * 1024
+        assert microbench.FIG10_SIZES[-1] == 16 * 1024 * 1024
+        assert len(microbench.FIG10_SIZES) == 12
