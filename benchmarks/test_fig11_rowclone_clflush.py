@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 11 (RowClone speedups, CLFLUSH)."""
 
-from repro.experiments import fig10_rowclone_noflush, fig11_rowclone_clflush
+from repro.experiments import fig11_rowclone_clflush
 
 
 def test_fig11_rowclone_clflush(once):
@@ -10,7 +10,6 @@ def test_fig11_rowclone_clflush(once):
     ts = "EasyDRAM - Time Scaling"
     copy = result["copy"][ts]
     init = result["init"][ts]
-    sizes = result["sizes"]
     # Coherence overhead compresses copy speedups (paper: ~3-4x vs 15x)
     # and grows milder as the array size grows.
     assert copy[-1] > copy[0] * 0.8

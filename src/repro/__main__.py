@@ -1,0 +1,6 @@
+"""``python -m repro`` — the unified artifact-reproduction CLI."""
+
+from repro.runner.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ from repro.analysis.report import (
     geomean,
     results_dir,
     write_csv,
+    write_json,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "line_chart",
     "results_dir",
     "write_csv",
+    "write_json",
 ]

@@ -21,7 +21,7 @@ def bar_chart(labels: Sequence[str], series: dict[str, Sequence[float]],
     vmax = max(all_vals)
     vmin = min(all_vals)
     lines = [title] if title else []
-    label_w = max(len(l) for l in labels)
+    label_w = max(len(label) for label in labels)
     name_w = max(len(n) for n in series)
     for i, label in enumerate(labels):
         for name, vals in series.items():

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import csv
+import json
 import math
 import os
 from typing import Iterable, Sequence
@@ -61,6 +62,20 @@ def write_csv(path: str, headers: Sequence[str],
         writer = csv.writer(f)
         writer.writerow(headers)
         writer.writerows(rows)
+
+
+def write_json(path: str, payload) -> None:
+    """Persist a machine-readable result (the CLI's ``--format json``).
+
+    Tuples serialize as lists and non-JSON values (dataclasses, custom
+    objects) fall back to ``str``, so any artifact dict can be written.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True, default=str)
+        f.write("\n")
 
 
 def results_dir() -> str:

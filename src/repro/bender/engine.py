@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bender.buffers import ReadbackBuffer
-from repro.bender.isa import Instruction, Opcode
+from repro.bender.isa import Opcode
 from repro.bender.program import BenderProgram
 from repro.dram.commands import CommandKind
 from repro.dram.device import DramDevice

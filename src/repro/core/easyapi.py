@@ -21,7 +21,7 @@ from repro.bender.program import BenderProgram
 from repro.core.tile import EasyTile
 from repro.cpu.processor import MemoryRequest
 from repro.dram.address import DramAddress
-from repro.dram.commands import Command, CommandKind
+from repro.dram.commands import CommandKind
 
 
 @dataclass(frozen=True)

@@ -1,9 +1,12 @@
 """Experiment harnesses regenerating every table and figure of the paper.
 
 Each module exposes ``run(...) -> dict`` (rows + aggregates for
-programmatic checks) and ``report(result) -> str`` (the printed
-table/figure); ``python -m repro.experiments.<name>`` regenerates one
-artifact from the command line.
+programmatic checks), ``report(result) -> str`` (the printed
+table/figure), and a ``SWEEP`` :class:`~repro.runner.spec.SweepSpec`
+declaring the artifact's independent measurement points for the parallel
+cached runner (``python -m repro run``);
+``python -m repro.experiments.<name>`` regenerates one artifact from the
+command line.
 
 ===========================  =======================================
 Module                       Paper artifact
@@ -21,6 +24,7 @@ Module                       Paper artifact
 """
 
 from repro.experiments import (
+    ablations,
     common,
     fig02_breakdown,
     fig08_latency_profile,
@@ -34,6 +38,7 @@ from repro.experiments import (
 )
 
 __all__ = [
+    "ablations",
     "common",
     "fig02_breakdown",
     "fig08_latency_profile",

@@ -26,6 +26,7 @@ from repro.core.timescale import ClockDomain
 from repro.cpu.memtrace import load
 from repro.cpu.processor import ProcessorConfig
 from repro.profiling.characterize import oracle_characterize
+from repro.runner import SweepPoint, SweepSpec, register
 from repro.workloads.microbench import cpu_copy_trace
 
 
@@ -105,7 +106,9 @@ def quantization_sweep(
     The coarser the clock that measures DRAM durations, the larger the
     time-scaling residual — the mechanism behind Section 6's <0.1 %.
     """
-    trace = lambda: [load(i * 64, gap=2) for i in range(accesses)]
+    def trace():
+        return [load(i * 64, gap=2) for i in range(accesses)]
+
     ref = EasyDRAMSystem(validation_reference(
         bender_domain=ClockDomain("bender", 1e9, 1e9))).run(trace(), "ref")
     rows = []
@@ -121,26 +124,63 @@ def quantization_sweep(
     return {"rows": rows, "errors_pct": errors, "reference_cycles": ref.cycles}
 
 
-def report_all() -> str:  # pragma: no cover - CLI convenience
+#: The individual studies, in report order.
+STUDIES = {
+    "scheduler": scheduler_ablation,
+    "mlp": mlp_sweep,
+    "bloom": bloom_ablation,
+    "quantization": quantization_sweep,
+}
+
+
+def sweep_point(study: str) -> dict:
+    return STUDIES[study]()
+
+
+def _build_points() -> tuple[SweepPoint, ...]:
+    return tuple(
+        SweepPoint(artifact="ablations", point_id=study,
+                   fn=f"{__name__}:sweep_point", params={"study": study})
+        for study in STUDIES)
+
+
+def _combine(results: dict) -> dict:
+    return dict(results)
+
+
+def run() -> dict:
+    """All four ablation studies, keyed by study name."""
+    return _combine({p.point_id: sweep_point(**p.params)
+                     for p in _build_points()})
+
+
+SWEEP = register(SweepSpec(
+    artifact="ablations", title="Ablations", module=__name__,
+    build_points=_build_points, combine=_combine))
+
+
+def report(result: dict) -> str:
     blocks = []
-    sched = scheduler_ablation()
+    sched = result["scheduler"]
     blocks.append(format_table(
         ["scheduler", "exec us"], sched["rows"],
         title="Ablation — scheduler policy (row-locality workload)"))
     blocks.append(f"FR-FCFS speedup over FCFS: {sched['frfcfs_speedup']:.2f}x")
-    mlp = mlp_sweep()
     blocks.append(format_table(
-        ["mlp", "copy us", "speedup vs mlp=1"], mlp["rows"],
+        ["mlp", "copy us", "speedup vs mlp=1"], result["mlp"]["rows"],
         title="\nAblation — memory-level parallelism (64 KiB copy)"))
-    bloom = bloom_ablation()
     blocks.append(format_table(
         ["target fp rate", "filter bytes", "hashes", "strong rows demoted"],
-        bloom["rows"], title="\nAblation — Bloom-filter sizing"))
-    quant = quantization_sweep()
+        result["bloom"]["rows"], title="\nAblation — Bloom-filter sizing"))
     blocks.append(format_table(
-        ["measurement clock", "cycles", "error %"], quant["rows"],
+        ["measurement clock", "cycles", "error %"],
+        result["quantization"]["rows"],
         title="\nAblation — time-scaling error vs measurement clock"))
     return "\n".join(blocks)
+
+
+def report_all() -> str:  # pragma: no cover - CLI convenience
+    return report(run())
 
 
 def main() -> None:  # pragma: no cover - CLI entry

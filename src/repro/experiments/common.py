@@ -22,6 +22,20 @@ def full_runs_enabled() -> bool:
     return os.environ.get("REPRO_FULL", "") not in ("", "0", "false")
 
 
+def default_jobs() -> int:
+    """Default worker-process count for the sweep runner.
+
+    ``REPRO_JOBS`` mirrors the CLI's ``--jobs``: experiment sweeps are
+    embarrassingly parallel (every point builds fresh deterministic
+    systems), so CI and batch hosts can shard them without changing any
+    command lines.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
 def polybench_size() -> str:
     return "small" if full_runs_enabled() else "mini"
 

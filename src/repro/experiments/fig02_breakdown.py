@@ -26,6 +26,7 @@ from repro.core.config import (
 )
 from repro.core.easyapi import CostModel
 from repro.core.system import EasyDRAMSystem
+from repro.runner import SweepPoint, SweepSpec, register
 from repro.workloads.lmbench import pointer_chase
 
 _RTL_COSTS = CostModel(
@@ -45,28 +46,64 @@ def _configs():
     )
 
 
+def _measure(name: str, accesses: int, working_set: int):
+    """One system model's breakdown row (and the full result)."""
+    config, costs = next(
+        (config, costs) for n, config, costs in _configs() if n == name)
+    system = EasyDRAMSystem(config, costs=costs)
+    result = system.run(
+        pointer_chase(working_set, accesses), "fig02-chase")
+    total_ms = result.emulated_ps / 1e9
+    b = result.breakdown
+    per_req_ns = (result.avg_request_latency_cycles
+                  / config.processor.emulated_freq_hz * 1e9)
+    sched_share = b.scheduling_ps / max(1, result.emulated_ps)
+    dram_share = b.main_memory_ps / max(1, result.emulated_ps)
+    row = (name, round(total_ms, 4),
+           round(result.avg_request_latency_cycles, 1),
+           round(per_req_ns, 1),
+           round(100 * sched_share, 1),
+           round(100 * dram_share, 1),
+           round(100 * result.stall_cycles / result.cycles, 1))
+    return row, result
+
+
+def sweep_point(model: str, accesses: int, working_set: int) -> dict:
+    row, _ = _measure(model, accesses, working_set)
+    return {"row": row}
+
+
 def run(accesses: int = 4000, working_set: int = 2 * 1024 * 1024) -> dict:
     """Measure the per-request breakdown on a dependent-load stream."""
     rows = []
     details = {}
-    for name, config, costs in _configs():
-        system = EasyDRAMSystem(config, costs=costs)
-        result = system.run(
-            pointer_chase(working_set, accesses), "fig02-chase")
-        total_ms = result.emulated_ps / 1e9
-        b = result.breakdown
-        per_req_ns = (result.avg_request_latency_cycles
-                      / config.processor.emulated_freq_hz * 1e9)
-        sched_share = b.scheduling_ps / max(1, result.emulated_ps)
-        dram_share = b.main_memory_ps / max(1, result.emulated_ps)
-        rows.append((name, round(total_ms, 4),
-                     round(result.avg_request_latency_cycles, 1),
-                     round(per_req_ns, 1),
-                     round(100 * sched_share, 1),
-                     round(100 * dram_share, 1),
-                     round(100 * result.stall_cycles / result.cycles, 1)))
+    for name, _config, _costs in _configs():
+        row, result = _measure(name, accesses, working_set)
+        rows.append(row)
         details[name] = result
     return {"rows": rows, "details": details}
+
+
+def _build_points(accesses: int = 4000,
+                  working_set: int = 2 * 1024 * 1024) -> tuple[SweepPoint, ...]:
+    return tuple(
+        SweepPoint(
+            artifact="fig02", point_id=f"model-{i}",
+            fn=f"{__name__}:sweep_point",
+            params={"model": name, "accesses": accesses,
+                    "working_set": working_set})
+        for i, (name, _config, _costs) in enumerate(_configs()))
+
+
+def _combine(results: dict) -> dict:
+    return {"rows": [value["row"] for value in results.values()]}
+
+
+SWEEP = register(SweepSpec(
+    artifact="fig02", title="Figure 2", module=__name__,
+    build_points=_build_points, combine=_combine,
+    csv_headers=("system", "exec ms", "mem latency (cycles)",
+                 "mem latency (ns)", "sched %", "DRAM %", "stalled %")))
 
 
 def report(result: dict) -> str:

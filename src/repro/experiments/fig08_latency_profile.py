@@ -24,6 +24,7 @@ from repro.core.config import (
     pidram_no_time_scaling,
 )
 from repro.core.system import EasyDRAMSystem
+from repro.runner import SweepPoint, SweepSpec, register
 from repro.workloads import lmbench, microbench
 
 CONFIGS = (
@@ -33,32 +34,65 @@ CONFIGS = (
 )
 
 
-def run(sizes_kib: tuple[int, ...] = lmbench.FIG8_SIZES_KIB,
-        max_accesses: int = 12_000) -> dict:
-    """Measure steady-state cycles/load per size per configuration.
+def sweep_point(config: str, size_kib: int, max_accesses: int) -> dict:
+    """Steady-state cycles/load for one (configuration, size) point.
 
     Like the real ``lat_mem_rd``, each point reports steady state: the
     working set is touched once (untimed warm-up) before the dependent
     chase is measured, so capacity — not compulsory misses — decides
     where each cache step appears.
     """
+    factory = dict(CONFIGS)[config]
+    size = size_kib * 1024
+    accesses = lmbench.accesses_for(size, max_accesses=max_accesses)
+    system = EasyDRAMSystem(factory())
+    session = system.session(f"lat-{size_kib}KiB")
+    session.run_trace(microbench.touch_trace(0, size))
+    before_cycles = session.processor.cycles
+    before_accesses = session.processor.stats.accesses
+    session.run_trace(lmbench.pointer_chase(size, accesses, base_addr=0))
+    result = session.finish()
+    cycles = result.cycles - before_cycles
+    measured = result.accesses - before_accesses
+    return {"config": config, "size_kib": size_kib,
+            "cycles_per_load": cycles / measured}
+
+
+def _build_points(sizes_kib: tuple[int, ...] = lmbench.FIG8_SIZES_KIB,
+                  max_accesses: int = 12_000) -> tuple[SweepPoint, ...]:
+    return tuple(
+        SweepPoint(
+            artifact="fig08", point_id=f"{name}-{size_kib}KiB".lower()
+            .replace(" ", ""),
+            fn=f"{__name__}:sweep_point",
+            params={"config": name, "size_kib": size_kib,
+                    "max_accesses": max_accesses})
+        for size_kib in sizes_kib for name, _factory in CONFIGS)
+
+
+def _combine(results: dict) -> dict:
+    # Each point's payload carries its own (config, size) coordinates,
+    # so combining never parses point ids.
     series: dict[str, list[float]] = {name: [] for name, _ in CONFIGS}
-    for size_kib in sizes_kib:
-        size = size_kib * 1024
-        accesses = lmbench.accesses_for(size, max_accesses=max_accesses)
-        for name, factory in CONFIGS:
-            system = EasyDRAMSystem(factory())
-            session = system.session(f"lat-{size_kib}KiB")
-            session.run_trace(microbench.touch_trace(0, size))
-            before_cycles = session.processor.cycles
-            before_accesses = session.processor.stats.accesses
-            session.run_trace(lmbench.pointer_chase(size, accesses,
-                                                    base_addr=0))
-            result = session.finish()
-            cycles = result.cycles - before_cycles
-            measured = result.accesses - before_accesses
-            series[name].append(cycles / measured)
-    return {"sizes_kib": list(sizes_kib), "series": series}
+    sizes_kib: list[int] = []
+    for value in results.values():
+        if value["size_kib"] not in sizes_kib:
+            sizes_kib.append(value["size_kib"])
+        series[value["config"]].append(value["cycles_per_load"])
+    return {"sizes_kib": sizes_kib, "series": series}
+
+
+def run(sizes_kib: tuple[int, ...] = lmbench.FIG8_SIZES_KIB,
+        max_accesses: int = 12_000) -> dict:
+    """Measure steady-state cycles/load per size per configuration."""
+    points = _build_points(sizes_kib=tuple(sizes_kib),
+                           max_accesses=max_accesses)
+    return _combine({p.point_id: sweep_point(**p.params) for p in points})
+
+
+SWEEP = register(SweepSpec(
+    artifact="fig08", title="Figure 8", module=__name__,
+    build_points=_build_points, combine=_combine))
 
 
 def report(result: dict) -> str:

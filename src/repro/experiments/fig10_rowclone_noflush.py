@@ -21,32 +21,84 @@ from repro.experiments.rowclone_common import (
     measure_easydram,
     measure_ramulator,
 )
+from repro.runner import SweepPoint, SweepSpec, register
 
 SERIES = ("EasyDRAM - No Time Scaling", "EasyDRAM - Time Scaling",
           "Ramulator 2.0")
 
+_SERIES_IDS = {"EasyDRAM - No Time Scaling": "no-ts",
+               "EasyDRAM - Time Scaling": "ts",
+               "Ramulator 2.0": "ramulator"}
 
-def run(sizes: tuple[int, ...] | None = None, clflush: bool = False) -> dict:
-    """Measure Copy and Init speedups for every size and methodology."""
-    sizes = sizes or default_sizes()
-    out: dict = {"sizes": list(sizes), "clflush": clflush}
+
+def sweep_point(workload: str, size: int, series: str, clflush: bool) -> dict:
+    """One (workload, size, methodology) measurement, JSON-ready."""
+    if series == "no-ts":
+        point = measure_easydram(
+            pidram_no_time_scaling(), workload, size, clflush)
+    elif series == "ts":
+        point = measure_easydram(
+            jetson_nano_time_scaling(), workload, size, clflush)
+    elif series == "ramulator":
+        point = measure_ramulator(workload, size, clflush)
+    else:
+        raise ValueError(f"unknown series {series!r}")
+    return {"workload": workload, "size": size, "series": series,
+            "cpu_ps": point.cpu_ps, "rowclone_ps": point.rowclone_ps,
+            "speedup": point.speedup,
+            "fallback_rows": point.fallback_rows,
+            "total_rows": point.total_rows}
+
+
+def _build_points(sizes: tuple[int, ...] | None = None,
+                  clflush: bool = False,
+                  artifact: str = "fig10") -> tuple[SweepPoint, ...]:
+    sizes = tuple(sizes or default_sizes())
+    return tuple(
+        SweepPoint(
+            artifact=artifact,
+            point_id=f"{workload}-{size}-{_SERIES_IDS[name]}",
+            fn=f"{__name__}:sweep_point",
+            params={"workload": workload, "size": size,
+                    "series": _SERIES_IDS[name], "clflush": clflush})
+        for workload in ("copy", "init")
+        for size in sizes
+        for name in SERIES)
+
+
+def _combine(results: dict, clflush: bool = False) -> dict:
+    # Index payloads by the coordinates they carry (never parse ids).
+    by_coord = {(v["workload"], v["size"], v["series"]): v
+                for v in results.values()}
+    sizes: list[int] = []
+    for value in results.values():
+        if value["size"] not in sizes:
+            sizes.append(value["size"])
+    out: dict = {"sizes": sizes, "clflush": clflush}
     for workload in ("copy", "init"):
         speedups: dict[str, list[float]] = {name: [] for name in SERIES}
         for size in sizes:
-            no_ts = measure_easydram(
-                pidram_no_time_scaling(), workload, size, clflush)
-            ts = measure_easydram(
-                jetson_nano_time_scaling(), workload, size, clflush)
-            ram = measure_ramulator(workload, size, clflush)
-            speedups["EasyDRAM - No Time Scaling"].append(no_ts.speedup)
-            speedups["EasyDRAM - Time Scaling"].append(ts.speedup)
-            speedups["Ramulator 2.0"].append(ram.speedup)
+            for name in SERIES:
+                value = by_coord[(workload, size, _SERIES_IDS[name])]
+                speedups[name].append(value["speedup"])
         out[workload] = speedups
         out[f"{workload}_geomean"] = {
             name: geomean(vals) for name, vals in speedups.items()}
         out[f"{workload}_max"] = {
             name: max(vals) for name, vals in speedups.items()}
     return out
+
+
+def run(sizes: tuple[int, ...] | None = None, clflush: bool = False) -> dict:
+    """Measure Copy and Init speedups for every size and methodology."""
+    points = _build_points(sizes=sizes, clflush=clflush)
+    return _combine(
+        {p.point_id: sweep_point(**p.params) for p in points}, clflush)
+
+
+SWEEP = register(SweepSpec(
+    artifact="fig10", title="Figure 10", module=__name__,
+    build_points=_build_points, combine=_combine))
 
 
 def report(result: dict, figure: str = "Figure 10",

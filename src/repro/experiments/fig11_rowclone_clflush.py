@@ -13,6 +13,7 @@ above; benefits grow with array size as flush work amortizes.
 from __future__ import annotations
 
 from repro.experiments import fig10_rowclone_noflush as fig10
+from repro.runner import SweepPoint, SweepSpec, register
 
 
 def run(sizes: tuple[int, ...] | None = None) -> dict:
@@ -21,6 +22,20 @@ def run(sizes: tuple[int, ...] | None = None) -> dict:
 
 def report(result: dict) -> str:
     return fig10.report(result, figure="Figure 11", setting="CLFLUSH")
+
+
+def _build_points(sizes: tuple[int, ...] | None = None
+                  ) -> tuple[SweepPoint, ...]:
+    return fig10._build_points(sizes=sizes, clflush=True, artifact="fig11")
+
+
+def _combine(results: dict) -> dict:
+    return fig10._combine(results, clflush=True)
+
+
+SWEEP = register(SweepSpec(
+    artifact="fig11", title="Figure 11", module=__name__,
+    build_points=_build_points, combine=_combine))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -22,15 +22,18 @@ from repro.profiling.characterize import (
     characterize,
     oracle_characterize,
 )
+from repro.runner import SweepPoint, SweepSpec, register
 
 
-def run(banks: int = 2, rows: int | None = None,
-        emulated_sample_rows: int = 8) -> dict:
-    """Profile ``banks`` x ``rows`` and build Figure 12's heatmap."""
+def default_rows() -> int:
+    geometry = jetson_nano_time_scaling().geometry
+    return (geometry.rows_per_bank if full_runs_enabled()
+            else min(1024, geometry.rows_per_bank))
+
+
+def _profile(banks: int, rows: int, emulated_sample_rows: int):
+    """Characterize ``banks`` x ``rows``; returns (JSON dict, oracle)."""
     system = EasyDRAMSystem(jetson_nano_time_scaling())
-    if rows is None:
-        rows = (system.config.geometry.rows_per_bank if full_runs_enabled()
-                else min(1024, system.config.geometry.rows_per_bank))
     oracle = oracle_characterize(
         system.tile.cells, system.config.geometry, range(banks), range(rows))
     # Cross-check a sample through the real profiling-request path.
@@ -42,8 +45,13 @@ def run(banks: int = 2, rows: int | None = None,
         1 for key, profile in emulated.profiles.items()
         if oracle.profiles[key].min_trcd_ps != profile.min_trcd_ps)
     strong = oracle.strong_fraction(threshold_ps=ns(9.0))
-    maps = {
-        bank: oracle.heatmap(bank, rows, group=64) for bank in range(banks)}
+    maps = [oracle.heatmap(bank, rows, group=64) for bank in range(banks)]
+    summary_rows = []
+    for bank in range(banks):
+        values = [oracle.min_trcd(bank, row) / 1000.0 for row in range(rows)]
+        summary_rows.append((
+            f"bank {bank + 1}", round(min(values), 2),
+            round(sum(values) / len(values), 2), round(max(values), 2)))
     return {
         "rows": rows,
         "banks": banks,
@@ -52,8 +60,41 @@ def run(banks: int = 2, rows: int | None = None,
         "emulated_sample_mismatches": mismatches,
         "emulated_sample_size": len(emulated.profiles),
         "heatmaps": maps,
-        "characterization": oracle,
-    }
+        "summary_rows": summary_rows,
+    }, oracle
+
+
+def sweep_point(banks: int, rows: int, emulated_sample_rows: int) -> dict:
+    return _profile(banks, rows, emulated_sample_rows)[0]
+
+
+def run(banks: int = 2, rows: int | None = None,
+        emulated_sample_rows: int = 8) -> dict:
+    """Profile ``banks`` x ``rows`` and build Figure 12's heatmap."""
+    result, oracle = _profile(
+        banks, rows if rows is not None else default_rows(),
+        emulated_sample_rows)
+    return result | {"characterization": oracle}
+
+
+def _build_points(banks: int = 2, rows: int | None = None,
+                  emulated_sample_rows: int = 8) -> tuple[SweepPoint, ...]:
+    return (SweepPoint(
+        artifact="fig12", point_id="heatmap",
+        fn=f"{__name__}:sweep_point",
+        params={"banks": banks,
+                "rows": rows if rows is not None else default_rows(),
+                "emulated_sample_rows": emulated_sample_rows}),)
+
+
+def _combine(results: dict) -> dict:
+    return results["heatmap"]
+
+
+SWEEP = register(SweepSpec(
+    artifact="fig12", title="Figure 12", module=__name__,
+    build_points=_build_points, combine=_combine,
+    csv_headers=("bank", "min tRCD ns", "mean", "max")))
 
 
 def report(result: dict) -> str:
@@ -66,20 +107,12 @@ def report(result: dict) -> str:
         f" {result['emulated_sample_mismatches']}"
         f"/{result['emulated_sample_size']}",
     ]
-    for bank, grid in result["heatmaps"].items():
+    for bank, grid in enumerate(result["heatmaps"]):
         blocks.append(heatmap(
             grid, title=f"\nBank {bank + 1} (row groups x rows; ns)",
             vmin=8.0, vmax=10.5))
-    summary_rows = []
-    char = result["characterization"]
-    for bank in range(result["banks"]):
-        values = [char.min_trcd(bank, row) / 1000.0
-                  for row in range(result["rows"])]
-        summary_rows.append((
-            f"bank {bank + 1}", round(min(values), 2),
-            round(sum(values) / len(values), 2), round(max(values), 2)))
     blocks.append("\n" + format_table(
-        ["bank", "min tRCD ns", "mean", "max"], summary_rows))
+        ["bank", "min tRCD ns", "mean", "max"], result["summary_rows"]))
     return "\n".join(blocks)
 
 

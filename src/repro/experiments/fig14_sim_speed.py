@@ -19,43 +19,82 @@ from repro.baselines.ramulator import RamulatorConfig, RamulatorSim
 from repro.core.config import jetson_nano_time_scaling
 from repro.core.system import EasyDRAMSystem
 from repro.experiments.common import polybench_size, scaled_cache_overrides
+from repro.runner import SweepPoint, SweepSpec, register
 from repro.workloads import polybench
 
 KERNELS = polybench.FIG13_KERNELS
 RAMULATOR_CAP = 60_000
 
 
-def run(kernels: tuple[str, ...] = KERNELS, size: str | None = None) -> dict:
-    size = size or polybench_size()
+def sweep_point(kernel: str, size: str) -> dict:
+    """Wall-clock simulation speed of both platforms on one kernel.
+
+    Note: unlike every other sweep, these values measure *this host's*
+    wall time, so they vary run to run (caching still makes re-runs
+    reproducible — the cached measurement is returned verbatim).  The
+    sweep is marked ``parallel_safe=False`` so concurrent workers never
+    contend for cores while a point is timing itself.
+    """
     config = jetson_nano_time_scaling(**scaled_cache_overrides())
+    easy = EasyDRAMSystem(config).run(polybench.trace(kernel, size), kernel)
+    ram = RamulatorSim(RamulatorConfig(max_accesses=RAMULATOR_CAP)).run(
+        polybench.trace(kernel, size), kernel)
+    return {
+        "easydram_mhz": easy.sim_speed_hz / 1e6,
+        "ramulator_mhz": ram.sim_speed_hz / 1e6,
+        "mpk_accesses": easy.mpk_accesses,
+    }
+
+
+def _build_points(kernels: tuple[str, ...] = KERNELS,
+                  size: str | None = None) -> tuple[SweepPoint, ...]:
+    size = size or polybench_size()
+    return tuple(
+        SweepPoint(artifact="fig14", point_id=kernel,
+                   fn=f"{__name__}:sweep_point",
+                   params={"kernel": kernel, "size": size})
+        for kernel in kernels)
+
+
+def _combine(results: dict) -> dict:
     rows = []
     easy_speeds: list[float] = []
     ram_speeds: list[float] = []
     ratios: list[float] = []
-    for name in kernels:
-        easy = EasyDRAMSystem(config).run(polybench.trace(name, size), name)
-        ram = RamulatorSim(RamulatorConfig(max_accesses=RAMULATOR_CAP)).run(
-            polybench.trace(name, size), name)
-        easy_mhz = easy.sim_speed_hz / 1e6
-        ram_mhz = ram.sim_speed_hz / 1e6
+    for name, value in results.items():
+        easy_mhz = value["easydram_mhz"]
+        ram_mhz = value["ramulator_mhz"]
         easy_speeds.append(easy_mhz)
         ram_speeds.append(ram_mhz)
         ratio = easy_mhz / ram_mhz if ram_mhz else 0.0
         ratios.append(ratio)
         rows.append((name, round(easy_mhz, 3), round(ram_mhz, 3),
-                     round(ratio, 2), round(easy.mpk_accesses, 2)))
+                     round(ratio, 2), round(value["mpk_accesses"], 2)))
     rows.append(("geomean", round(geomean(easy_speeds), 3),
                  round(geomean(ram_speeds), 3),
                  round(geomean(ratios), 2), ""))
     return {
         "rows": rows,
-        "kernels": list(kernels),
+        "kernels": list(results),
         "easydram_mhz": easy_speeds,
         "ramulator_mhz": ram_speeds,
         "speed_ratios": ratios,
         "mean_ratio": geomean(ratios),
         "max_ratio": max(ratios),
     }
+
+
+def run(kernels: tuple[str, ...] = KERNELS, size: str | None = None) -> dict:
+    points = _build_points(kernels=tuple(kernels), size=size)
+    return _combine({p.point_id: sweep_point(**p.params) for p in points})
+
+
+SWEEP = register(SweepSpec(
+    artifact="fig14", title="Figure 14", module=__name__,
+    build_points=_build_points, combine=_combine,
+    csv_headers=("workload", "EasyDRAM MHz", "Ramulator MHz", "ratio",
+                 "LLC-miss/kacc"),
+    parallel_safe=False))
 
 
 def report(result: dict) -> str:

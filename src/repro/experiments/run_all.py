@@ -1,14 +1,16 @@
 """Regenerate every paper artifact in one go.
 
-``python -m repro.experiments.run_all`` prints Table 1, Figure 2, the
-Section 6 validation, and Figures 8-14 back to back (CI-scale; set
-``REPRO_FULL=1`` for the paper-scale sweeps).  Useful for producing a
-complete reproduction log in one command.
+``python -m repro.experiments.run_all`` is kept as a thin compatibility
+wrapper around the unified CLI (``python -m repro run``): it prints
+Table 1, Figure 2, the Section 6 validation, Figures 8-14, and the
+ablations back to back through the parallel sweep runner (CI-scale; set
+``REPRO_FULL=1`` for the paper-scale sweeps, ``REPRO_JOBS=N`` to shard
+points across worker processes).  A failing artifact no longer aborts
+the stream: the failure is reported per artifact and the exit status is
+nonzero.
 """
 
 from __future__ import annotations
-
-import time
 
 from repro.experiments import (
     ablations,
@@ -22,7 +24,9 @@ from repro.experiments import (
     sec6_validation,
     tab01_platforms,
 )
+from repro.runner.cli import main as cli_main
 
+#: Kept for importers of the historical module-level table.
 ARTIFACTS = (
     ("Table 1", tab01_platforms),
     ("Figure 2", fig02_breakdown),
@@ -33,27 +37,13 @@ ARTIFACTS = (
     ("Figure 12", fig12_trcd_heatmap),
     ("Figure 13", fig13_trcd_speedup),
     ("Figure 14", fig14_sim_speed),
+    ("Ablations", ablations),
 )
 
 
-def main() -> None:  # pragma: no cover - CLI entry
-    total_start = time.perf_counter()
-    for name, module in ARTIFACTS:
-        start = time.perf_counter()
-        print("=" * 72)
-        print(f"{name} ({module.__name__})")
-        print("=" * 72)
-        result = module.run()
-        print(module.report(result))
-        print(f"\n[{name} regenerated in"
-              f" {time.perf_counter() - start:.1f}s]\n")
-    print("=" * 72)
-    print("Ablations (repro.experiments.ablations)")
-    print("=" * 72)
-    print(ablations.report_all())
-    print(f"\nall artifacts regenerated in"
-          f" {time.perf_counter() - total_start:.1f}s")
+def main() -> int:  # pragma: no cover - CLI entry
+    return cli_main(["run"])
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    raise SystemExit(main())

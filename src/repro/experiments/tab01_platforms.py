@@ -14,11 +14,12 @@ from repro.baselines.ramulator import RamulatorConfig, RamulatorSim
 from repro.core.config import jetson_nano_time_scaling
 from repro.core.system import EasyDRAMSystem
 from repro.experiments.common import polybench_size
+from repro.runner import SweepPoint, SweepSpec, register
 from repro.workloads import polybench
 
 
-def run(kernel: str = "gemm", size: str | None = None) -> dict:
-    size = size or polybench_size()
+def sweep_point(kernel: str, size: str) -> dict:
+    """Measure both platforms' rates and build the whole table."""
     easy = EasyDRAMSystem(jetson_nano_time_scaling()).run(
         polybench.trace(kernel, size), kernel)
     ram = RamulatorSim(RamulatorConfig()).run(
@@ -41,6 +42,29 @@ def run(kernel: str = "gemm", size: str | None = None) -> dict:
         "easydram_fpga_rate_hz": easy_fpga_rate,
         "ramulator_rate_hz": ram.sim_speed_hz,
     }
+
+
+def run(kernel: str = "gemm", size: str | None = None) -> dict:
+    return sweep_point(kernel, size or polybench_size())
+
+
+def _build_points(kernel: str = "gemm",
+                  size: str | None = None) -> tuple[SweepPoint, ...]:
+    return (SweepPoint(
+        artifact="tab01", point_id="table",
+        fn=f"{__name__}:sweep_point",
+        params={"kernel": kernel, "size": size or polybench_size()}),)
+
+
+def _combine(results: dict) -> dict:
+    return results["table"]
+
+
+SWEEP = register(SweepSpec(
+    artifact="tab01", title="Table 1", module=__name__,
+    build_points=_build_points, combine=_combine,
+    csv_headers=("platform", "real DRAM", "flexible MC", "CPU cycles/s",
+                 "accurate perf", "configurable")))
 
 
 def _eng(value: float) -> str:

@@ -1,0 +1,28 @@
+"""Parallel sweep runner: declarative specs, process-pool scheduling,
+content-hashed result caching, and the unified ``repro`` CLI."""
+
+from repro.runner.cache import NullCache, ResultCache, code_fingerprint
+from repro.runner.registry import ARTIFACT_ORDER, all_specs, get, register
+from repro.runner.scheduler import SweepOutcome, run_sweep
+from repro.runner.spec import (
+    SweepPoint,
+    SweepSpec,
+    evaluate_point,
+    json_normalize,
+)
+
+__all__ = [
+    "ARTIFACT_ORDER",
+    "NullCache",
+    "ResultCache",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepSpec",
+    "all_specs",
+    "code_fingerprint",
+    "evaluate_point",
+    "get",
+    "json_normalize",
+    "register",
+    "run_sweep",
+]

@@ -1,0 +1,116 @@
+"""Content-addressed on-disk cache for sweep-point results.
+
+A point's cache key hashes everything that determines its result: the
+function reference, its parameters, the artifact/point ids, and a
+fingerprint of the ``repro`` package's source code — so editing the
+simulator invalidates every cached result while re-runs of an unchanged
+tree hit the cache.  Values are the JSON-normalized point results, one
+file per point under ``<cache root>/<artifact>/<key>.json``.
+
+The cache root defaults to ``.repro-cache`` and can be moved with the
+``REPRO_CACHE_DIR`` environment variable or the CLI's ``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+
+from repro.runner.spec import SweepPoint
+
+_MISS = object()
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every ``.py`` file in the installed ``repro`` package."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def default_cache_dir() -> str:
+    """Resolve the cache root (``REPRO_CACHE_DIR`` or ``.repro-cache``)."""
+    return os.environ.get("REPRO_CACHE_DIR", "") or ".repro-cache"
+
+
+class NullCache:
+    """Cache interface that never stores anything (``--no-cache``)."""
+
+    def get(self, point: SweepPoint):
+        return _MISS
+
+    def put(self, point: SweepPoint, value) -> None:
+        pass
+
+    @staticmethod
+    def is_hit(value) -> bool:
+        return value is not _MISS
+
+
+class ResultCache(NullCache):
+    """Directory-backed point-result cache."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = Path(root) if root else Path(default_cache_dir())
+
+    def key(self, point: SweepPoint) -> str:
+        payload = json.dumps({
+            "artifact": point.artifact,
+            "point_id": point.point_id,
+            "fn": point.fn,
+            "params": dict(point.params),
+            "code": code_fingerprint(),
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+    def _path(self, point: SweepPoint) -> Path:
+        return self.root / point.artifact / f"{self.key(point)}.json"
+
+    def get(self, point: SweepPoint):
+        """The cached value for ``point``, or the miss sentinel."""
+        path = self._path(point)
+        try:
+            with open(path) as f:
+                entry = json.load(f)
+        except (OSError, ValueError):
+            return _MISS
+        if entry.get("point_id") != point.point_id:
+            return _MISS
+        return entry.get("value")
+
+    def put(self, point: SweepPoint, value) -> None:
+        """Persist ``value`` (already JSON-normalized) for ``point``.
+
+        The write goes through a uniquely-named temp file + rename so
+        concurrent invocations sharing a cache directory (CI shards)
+        can never interleave into a corrupt entry.
+        """
+        path = self._path(point)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump({
+                    "point_id": point.point_id,
+                    "fn": point.fn,
+                    "params": dict(point.params),
+                    "value": value,
+                }, f)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,206 @@
+"""The unified ``repro`` command-line interface.
+
+``repro run`` (also ``python -m repro run``) regenerates paper artifacts
+through the parallel sweep runner::
+
+    repro run --artifacts fig10,fig13 --jobs 4 --format json --out results/
+
+Every artifact's ASCII report is printed to stdout (the reproduction
+log); ``--format json|csv`` additionally writes machine-readable results
+under ``--out`` together with a ``manifest.json`` of per-artifact
+statistics.  A failing artifact never aborts the sweep: the failure is
+reported, the remaining artifacts still run, and the exit status is
+nonzero.  ``repro list`` shows the registered artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Sequence
+
+from repro.analysis.report import results_dir, write_csv, write_json
+from repro.experiments.common import default_jobs
+from repro.runner import registry
+from repro.runner.cache import NullCache, ResultCache, default_cache_dir
+from repro.runner.scheduler import SweepOutcome, run_sweep
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's artifacts (tables and figures).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run artifact sweeps (parallel, cached)")
+    run.add_argument(
+        "--artifacts", default="all",
+        help="comma-separated artifact ids, or 'all'"
+             f" (known: {', '.join(registry.ARTIFACT_ORDER)})")
+    run.add_argument(
+        "--jobs", type=int, default=default_jobs(), metavar="N",
+        help="worker processes per sweep (default: $REPRO_JOBS or 1)")
+    run.add_argument(
+        "--format", choices=("ascii", "json", "csv"), default="ascii",
+        help="machine-readable output written under --out"
+             " (ascii prints the reports only)")
+    run.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="output directory for json/csv results"
+             " (default: $REPRO_RESULTS_DIR or results/)")
+    run.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="point-result cache directory"
+             " (default: $REPRO_CACHE_DIR or .repro-cache/)")
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every point; do not read or write the cache")
+    run.add_argument(
+        "--full", action="store_true",
+        help="paper-scale sweeps (sets REPRO_FULL=1)")
+    run.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the ASCII reports (progress lines only)")
+
+    lst = sub.add_parser("list", help="list registered artifacts")
+    lst.add_argument("--verbose", action="store_true",
+                     help="include implementing module and point counts")
+    return parser
+
+
+def _select_artifacts(selector: str) -> list[str]:
+    if selector.strip().lower() in ("all", ""):
+        return list(registry.all_specs())
+    names = [name.strip() for name in selector.split(",") if name.strip()]
+    for name in names:
+        registry.get(name)  # raises KeyError with the known ids
+    return names
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    if args.full:
+        os.environ["REPRO_FULL"] = "1"
+    try:
+        artifacts = _select_artifacts(args.artifacts)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    cache = NullCache() if args.no_cache else ResultCache(
+        args.cache_dir or default_cache_dir())
+    out_dir = args.out or results_dir()
+
+    outcomes: list[SweepOutcome] = []
+    for name in artifacts:
+        spec = registry.get(name)
+        print("=" * 72)
+        print(f"{spec.title} ({spec.module})")
+        print("=" * 72)
+        outcome = run_sweep(spec, jobs=args.jobs, cache=cache)
+        outcomes.append(outcome)
+        if outcome.ok:
+            if not args.quiet:
+                print(spec.report(outcome.result))
+            print(f"\n[{spec.title}: {outcome.points} points,"
+                  f" {outcome.cache_hits} cached,"
+                  f" {outcome.seconds:.1f}s]\n")
+            _write_outputs(args, out_dir, spec, outcome)
+        else:
+            print(f"\nFAILED {spec.artifact}: see stderr\n")
+            print(f"--- {spec.artifact} failed "
+                  f"({spec.module}) ---\n{outcome.error}", file=sys.stderr)
+    if args.format != "ascii":
+        write_json(os.path.join(out_dir, "manifest.json"),
+                   {"artifacts": [_manifest_entry(o) for o in outcomes]})
+    return _summarize(outcomes)
+
+
+def _write_outputs(args: argparse.Namespace, out_dir: str,
+                   spec, outcome: SweepOutcome) -> None:
+    if args.format == "json":
+        write_json(os.path.join(out_dir, f"{spec.artifact}.json"),
+                   _manifest_entry(outcome) | {"result": outcome.result})
+    elif args.format == "csv":
+        table = _csv_table(spec, outcome.result)
+        if table is None:
+            print(f"note: {spec.artifact}: no tabular shape for CSV;"
+                  " skipped (use --format json)", file=sys.stderr)
+        else:
+            headers, rows = table
+            write_csv(os.path.join(out_dir, f"{spec.artifact}.csv"),
+                      headers, rows)
+
+
+def _csv_table(spec, result: dict) -> tuple[tuple, list] | None:
+    """The artifact's main table as (headers, rows), if it has one."""
+    for key in ("rows", "summary_rows"):  # fig12's "rows" is a count
+        if isinstance(result.get(key), list):
+            rows = result[key]
+            headers = spec.csv_headers or tuple(
+                f"col{i}" for i in range(len(rows[0]) if rows else 0))
+            return headers, rows
+    series = result.get("series")
+    if isinstance(series, dict):  # fig08
+        sizes = result.get("sizes_kib") or result.get("sizes") or []
+        return (("size_kib",) + tuple(series),
+                [[size] + [series[name][i] for name in series]
+                 for i, size in enumerate(sizes)])
+    if isinstance(result.get("copy"), dict):  # fig10/fig11: long format
+        rows = [(workload, size, name, result[workload][name][i])
+                for workload in ("copy", "init")
+                for name in result[workload]
+                for i, size in enumerate(result["sizes"])]
+        return ("workload", "size_bytes", "series", "speedup"), rows
+    return None
+
+
+def _manifest_entry(outcome: SweepOutcome) -> dict:
+    return {
+        "artifact": outcome.artifact,
+        "title": outcome.title,
+        "ok": outcome.ok,
+        "points": outcome.points,
+        "cache_hits": outcome.cache_hits,
+        "seconds": round(outcome.seconds, 3),
+        "error": (outcome.error or "").splitlines()[-1:] or None,
+    }
+
+
+def _summarize(outcomes: list[SweepOutcome]) -> int:
+    failed = [o for o in outcomes if not o.ok]
+    total = sum(o.seconds for o in outcomes)
+    points = sum(o.points for o in outcomes)
+    hits = sum(o.cache_hits for o in outcomes)
+    print("=" * 72)
+    print(f"{len(outcomes)} artifacts, {points} points"
+          f" ({hits} cached) in {total:.1f}s")
+    if failed:
+        names = ", ".join(o.artifact for o in failed)
+        print(f"FAILED ({len(failed)}): {names}", file=sys.stderr)
+        return 1
+    print("all artifacts regenerated")
+    return 0
+
+
+def _list_command(args: argparse.Namespace) -> int:
+    for name, spec in registry.all_specs().items():
+        if args.verbose:
+            points = len(spec.build_points())
+            print(f"{name:10s} {spec.title:25s} {points:3d} points"
+                  f"  {spec.module}")
+        else:
+            print(f"{name:10s} {spec.title}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command == "run":
+        return _run_command(args)
+    return _list_command(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

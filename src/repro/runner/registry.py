@@ -1,0 +1,88 @@
+"""Registry of every artifact's :class:`~repro.runner.spec.SweepSpec`.
+
+Experiment modules register their sweep at import time::
+
+    SWEEP = SweepSpec(artifact="fig10", ...)
+    register(SWEEP)
+
+and consumers look sweeps up by artifact id (``"fig10"``) without caring
+which module implements them.  :func:`all_specs` imports the experiment
+modules lazily, so importing :mod:`repro.runner` stays cheap.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.runner.spec import SweepSpec
+
+#: Artifact ids in the order ``run_all`` has always printed them.
+ARTIFACT_ORDER = (
+    "tab01",
+    "fig02",
+    "sec6",
+    "fig08",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "ablations",
+)
+
+#: Experiment modules that define sweeps (imported on first lookup).
+_EXPERIMENT_MODULES = (
+    "repro.experiments.tab01_platforms",
+    "repro.experiments.fig02_breakdown",
+    "repro.experiments.sec6_validation",
+    "repro.experiments.fig08_latency_profile",
+    "repro.experiments.fig10_rowclone_noflush",
+    "repro.experiments.fig11_rowclone_clflush",
+    "repro.experiments.fig12_trcd_heatmap",
+    "repro.experiments.fig13_trcd_speedup",
+    "repro.experiments.fig14_sim_speed",
+    "repro.experiments.ablations",
+)
+
+_REGISTRY: dict[str, SweepSpec] = {}
+_LOADED = False
+
+
+def register(spec: SweepSpec) -> SweepSpec:
+    """Register ``spec`` under its artifact id (idempotent per module)."""
+    existing = _REGISTRY.get(spec.artifact)
+    if existing is not None and existing.module != spec.module:
+        raise ValueError(
+            f"artifact {spec.artifact!r} already registered by"
+            f" {existing.module}")
+    _REGISTRY[spec.artifact] = spec
+    return spec
+
+
+def _load() -> None:
+    global _LOADED
+    if _LOADED:
+        return
+    for module in _EXPERIMENT_MODULES:
+        importlib.import_module(module)
+    _LOADED = True
+
+
+def get(artifact: str) -> SweepSpec:
+    """Look up one artifact's sweep; raises ``KeyError`` with options."""
+    _load()
+    try:
+        return _REGISTRY[artifact]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown artifact {artifact!r} (known: {known})") \
+            from None
+
+
+def all_specs() -> dict[str, SweepSpec]:
+    """Every registered sweep, keyed by artifact id, in canonical order."""
+    _load()
+    ordered = {a: _REGISTRY[a] for a in ARTIFACT_ORDER if a in _REGISTRY}
+    for artifact, spec in _REGISTRY.items():
+        ordered.setdefault(artifact, spec)
+    return ordered

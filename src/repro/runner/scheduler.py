@@ -1,0 +1,129 @@
+"""Parallel sweep execution with cached results.
+
+:func:`run_sweep` executes one artifact's sweep: cached points are read
+back from disk, the remaining points run either in-process (``jobs=1``)
+or sharded across a ``ProcessPoolExecutor`` (experiments are
+deterministic and every point builds its own fresh systems, so points
+are embarrassingly parallel), and the combined artifact dict is returned
+together with execution statistics.  :func:`run_artifacts` drives a list
+of sweeps and never lets one failing artifact abort the rest — the
+failure is captured in its outcome and reported at the end.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.runner.cache import NullCache
+from repro.runner.spec import SweepPoint, SweepSpec, evaluate_point
+
+
+@dataclass
+class SweepOutcome:
+    """What happened when one artifact's sweep ran."""
+
+    artifact: str
+    title: str
+    result: dict | None = None
+    error: str | None = None
+    points: int = 0
+    cache_hits: int = 0
+    seconds: float = 0.0
+    point_ids: tuple[str, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _check_points(spec: SweepSpec,
+                  points: Iterable[SweepPoint]) -> tuple[SweepPoint, ...]:
+    points = tuple(points)
+    if not points:
+        raise ValueError(f"sweep {spec.artifact!r} built no points")
+    seen: set[str] = set()
+    for point in points:
+        if point.artifact != spec.artifact:
+            raise ValueError(
+                f"point {point.point_id!r} belongs to {point.artifact!r},"
+                f" not {spec.artifact!r}")
+        if point.point_id in seen:
+            raise ValueError(
+                f"sweep {spec.artifact!r} built duplicate point"
+                f" {point.point_id!r}")
+        seen.add(point.point_id)
+    return points
+
+
+def run_sweep(spec: SweepSpec, jobs: int = 1, cache: NullCache | None = None,
+              overrides: Mapping[str, Any] | None = None) -> SweepOutcome:
+    """Execute one sweep and combine its artifact dict.
+
+    ``jobs`` bounds the worker processes; ``cache`` (a ``ResultCache`` or
+    ``NullCache``) supplies and absorbs point results; ``overrides`` are
+    keyword arguments forwarded to the spec's point builder.
+    """
+    cache = cache if cache is not None else NullCache()
+    start = time.perf_counter()
+    outcome = SweepOutcome(artifact=spec.artifact, title=spec.title)
+    try:
+        points = _check_points(spec, spec.build_points(**dict(overrides or {})))
+        outcome.points = len(points)
+        outcome.point_ids = tuple(p.point_id for p in points)
+        values: dict[str, Any] = {}
+        missing: list[SweepPoint] = []
+        for point in points:
+            cached = cache.get(point)
+            if cache.is_hit(cached):
+                values[point.point_id] = cached
+            else:
+                missing.append(point)
+        outcome.cache_hits = len(points) - len(missing)
+        # Wall-clock-measuring sweeps stay serial: concurrent workers
+        # would contend for cores and skew (then cache) the timings.
+        effective_jobs = jobs if spec.parallel_safe else 1
+        for point, value in _evaluate(missing, effective_jobs):
+            cache.put(point, value)
+            values[point.point_id] = value
+        outcome.result = spec.combine(
+            {p.point_id: values[p.point_id] for p in points})
+    except Exception:
+        outcome.error = traceback.format_exc()
+    outcome.seconds = time.perf_counter() - start
+    return outcome
+
+
+def _evaluate(points: list[SweepPoint],
+              jobs: int) -> Iterable[tuple[SweepPoint, Any]]:
+    """Yield ``(point, result)`` as points finish (order unspecified)."""
+    if not points:
+        return
+    if jobs <= 1 or len(points) == 1:
+        for point in points:
+            yield point, evaluate_point(point)
+        return
+    failure: BaseException | None = None
+    with ProcessPoolExecutor(max_workers=min(jobs, len(points))) as pool:
+        pending = {pool.submit(evaluate_point, p): p for p in points}
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                point = pending.pop(future)
+                try:
+                    value = future.result()
+                except Exception as exc:
+                    # Cancel queued points, but keep draining the ones
+                    # already running so their results still reach the
+                    # cache; the failure is re-raised once drained.
+                    if failure is None:
+                        failure = exc
+                        for queued in [f for f in pending if f.cancel()]:
+                            pending.pop(queued)
+                else:
+                    yield point, value
+    if failure is not None:
+        raise failure

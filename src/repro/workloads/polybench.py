@@ -477,14 +477,14 @@ def _trisolv(d: Dims) -> Iterator[Access]:
     """Lower-triangular solve L*x = b."""
     n = d.n
     al = _Alloc()
-    l = al.matrix(n, n)
+    lower = al.matrix(n, n)
     x, b = al.vector(n), al.vector(n)
     for i in range(n):
         yield load(b.a(i), gap=1)
         for j in range(i):
-            yield load(l.a(i, j), gap=1)
+            yield load(lower.a(i, j), gap=1)
             yield load(x.a(j), gap=1)
-        yield load(l.a(i, i), gap=1)
+        yield load(lower.a(i, i), gap=1)
         yield store(x.a(i), gap=1)
 
 

@@ -128,7 +128,9 @@ class TestRelativePerformance:
         from repro.core.config import jetson_nano_time_scaling
         from repro.core.system import EasyDRAMSystem
 
-        trace = lambda: [load((i % 64) * 64, gap=60) for i in range(4000)]
+        def trace():
+            return [load((i % 64) * 64, gap=60) for i in range(4000)]
+
         easy = EasyDRAMSystem(jetson_nano_time_scaling()).run(trace(), "w")
         ram = RamulatorSim().run(trace(), "w")
         assert easy.sim_speed_hz > ram.sim_speed_hz

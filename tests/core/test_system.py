@@ -116,7 +116,9 @@ class TestTimeScalingBehaviour:
         measurement quantization (every request pays the grid error);
         even there the divergence stays within 2%.  The Section 6
         experiment checks the paper's <0.1% claim on real workloads."""
-        trace = lambda: stream(1500, gap=2)
+        def trace():
+            return stream(1500, gap=2)
+
         ref = EasyDRAMSystem(validation_reference()).run(trace(), "v")
         ts = EasyDRAMSystem(validation_time_scaled()).run(trace(), "v")
         err = abs(ts.cycles - ref.cycles) / ref.cycles
@@ -124,7 +126,9 @@ class TestTimeScalingBehaviour:
 
     def test_validation_error_tiny_on_compute_heavy_workload(self):
         """Section 6's regime: PolyBench-like low memory intensity."""
-        trace = lambda: stream(300, gap=50)
+        def trace():
+            return stream(300, gap=50)
+
         ref = EasyDRAMSystem(validation_reference()).run(trace(), "v")
         ts = EasyDRAMSystem(validation_time_scaled()).run(trace(), "v")
         err = abs(ts.cycles - ref.cycles) / ref.cycles

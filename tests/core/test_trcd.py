@@ -81,7 +81,9 @@ class TestServing:
     def test_speedup_on_act_heavy_workload(self, system, characterization):
         """Reduced tRCD must shorten execution on a row-miss-heavy
         trace; the gain is bounded by tRCD's share of the access."""
-        trace = lambda: row_miss_trace(system, 500)
+        def trace():
+            return row_miss_trace(system, 500)
+
         base_sys = EasyDRAMSystem(jetson_nano_time_scaling())
         base = base_sys.run(trace(), "base")
         fast_sys = EasyDRAMSystem(jetson_nano_time_scaling())

@@ -4,8 +4,6 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.dram.timing import (
-    PS_PER_NS,
-    PS_PER_S,
     cycles_for_ps,
     ddr4_1333,
     ddr4_2400,

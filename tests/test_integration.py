@@ -126,7 +126,9 @@ class TestNoTimeScalingVsTimeScalingConsistency:
     def test_same_dram_command_stream_semantics(self):
         """Both configurations drive the same DRAM: command mix should
         be similar for the same workload (timing differs, legality not)."""
-        trace = lambda: [load(i * 64, gap=3) for i in range(800)]
+        def trace():
+            return [load(i * 64, gap=3) for i in range(800)]
+
         ts = EasyDRAMSystem(jetson_nano_time_scaling())
         no_ts = EasyDRAMSystem(pidram_no_time_scaling())
         ts.run(trace(), "a")
