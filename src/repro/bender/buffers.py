@@ -30,6 +30,7 @@ class CommandBuffer:
     _items: deque = field(default_factory=deque)
 
     def push(self, instruction: Instruction) -> None:
+        """Stage one instruction; raises :class:`BufferOverflow` when full."""
         if len(self._items) >= self.capacity:
             raise BufferOverflow(
                 f"command buffer full ({self.capacity} instructions);"
@@ -47,6 +48,7 @@ class CommandBuffer:
 
     @property
     def empty(self) -> bool:
+        """Whether no instructions are staged."""
         return not self._items
 
 
@@ -58,12 +60,14 @@ class ReadbackBuffer:
     _lines: deque = field(default_factory=deque)
 
     def push(self, line: bytes, reliable: bool) -> None:
+        """Capture one RD line plus its cell-model reliability flag."""
         if len(self._lines) >= self.capacity:
             raise BufferOverflow(
                 f"readback buffer full ({self.capacity} lines)")
         self._lines.append((line, reliable))
 
     def pop(self) -> tuple[bytes, bool]:
+        """Pop the oldest captured line and its reliability flag."""
         if not self._lines:
             raise IndexError("readback buffer is empty")
         return self._lines.popleft()
@@ -73,6 +77,7 @@ class ReadbackBuffer:
         return self.pop()[0]
 
     def clear(self) -> None:
+        """Discard every captured line."""
         self._lines.clear()
 
     def __len__(self) -> int:
@@ -80,4 +85,5 @@ class ReadbackBuffer:
 
     @property
     def empty(self) -> bool:
+        """Whether no captured lines are waiting."""
         return not self._lines

@@ -35,6 +35,7 @@ class ExecResult:
 
     @property
     def all_reliable(self) -> bool:
+        """Whether every readback line passed the cell model intact."""
         return all(self.reliable)
 
 

@@ -85,12 +85,15 @@ def wait(cycles: int) -> Instruction:
 
 
 def loop_begin(count: int) -> Instruction:
+    """Build a LOOP_BEGIN instruction repeating its block ``count`` times."""
     return Instruction(Opcode.LOOP_BEGIN, operand=count)
 
 
 def loop_end() -> Instruction:
+    """Build the LOOP_END instruction closing the innermost loop."""
     return Instruction(Opcode.LOOP_END)
 
 
 def end() -> Instruction:
+    """Build the END instruction terminating a program."""
     return Instruction(Opcode.END)

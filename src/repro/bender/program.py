@@ -32,13 +32,16 @@ class BenderProgram:
     # -- raw appends ----------------------------------------------------------
 
     def emit(self, instruction: Instruction) -> "BenderProgram":
+        """Append one raw instruction."""
         self.instructions.append(instruction)
         return self
 
     def command(self, cmd: Command) -> "BenderProgram":
+        """Append a DDR instruction issuing ``cmd``."""
         return self.emit(isa.ddr(cmd))
 
     def wait_cycles(self, cycles: int) -> "BenderProgram":
+        """Append a WAIT of ``cycles`` interface cycles (if positive)."""
         if cycles > 0:
             self.emit(isa.wait(cycles))
         return self
@@ -53,28 +56,36 @@ class BenderProgram:
     # -- structured helpers -----------------------------------------------------
 
     def activate(self, bank: int, row: int) -> "BenderProgram":
+        """Stage ACT opening ``row`` of ``bank``."""
         return self.command(Command(CommandKind.ACT, bank=bank, row=row))
 
     def precharge(self, bank: int) -> "BenderProgram":
+        """Stage PRE closing ``bank``."""
         return self.command(Command(CommandKind.PRE, bank=bank))
 
     def precharge_all(self) -> "BenderProgram":
+        """Stage PREA closing every bank."""
         return self.command(Command(CommandKind.PREA))
 
     def read(self, bank: int, col: int) -> "BenderProgram":
+        """Stage RD of column ``col`` from ``bank``'s open row."""
         return self.command(Command(CommandKind.RD, bank=bank, col=col))
 
     def write(self, bank: int, col: int, data: bytes | None = None) -> "BenderProgram":
+        """Stage WR of ``data`` (or the filler pattern) into ``bank``."""
         return self.command(Command(CommandKind.WR, bank=bank, col=col, data=data))
 
     def refresh(self) -> "BenderProgram":
+        """Stage REF (all banks must be precharged when it executes)."""
         return self.command(Command(CommandKind.REF))
 
     def loop(self, count: int) -> "BenderProgram":
+        """Open a LOOP block repeated ``count`` times."""
         self._loop_depth += 1
         return self.emit(isa.loop_begin(count))
 
     def end_loop(self) -> "BenderProgram":
+        """Close the innermost LOOP block."""
         if self._loop_depth == 0:
             raise ValueError("end_loop() without a matching loop()")
         self._loop_depth -= 1
@@ -111,5 +122,6 @@ class BenderProgram:
         return "\n".join(lines)
 
     def clear(self) -> None:
+        """Drop all staged instructions and reset loop nesting."""
         self.instructions.clear()
         self._loop_depth = 0

@@ -12,6 +12,8 @@ from repro.core.config import (
     validation_time_scaled,
 )
 from repro.core.easyapi import CostModel, EasyAPI
+from repro.core.engine import CycleEngine, EventEngine, make_engine
+from repro.core.events import EngineStats, Event, EventKind, EventQueue
 from repro.core.schedulers import FCFS, FRFCFS, Scheduler, TableEntry, make_scheduler
 from repro.core.smc import SmcStats, SoftwareMemoryController
 from repro.core.stats import Breakdown, RunResult
@@ -25,10 +27,16 @@ __all__ = [
     "ClockDomain",
     "ControllerConfig",
     "CostModel",
+    "CycleEngine",
     "EasyAPI",
     "EasyDRAMSystem",
     "EasyTile",
     "EmulationDeadlock",
+    "EngineStats",
+    "Event",
+    "EventEngine",
+    "EventKind",
+    "EventQueue",
     "FCFS",
     "FRFCFS",
     "RunResult",
@@ -42,6 +50,7 @@ __all__ = [
     "TimeScalingCounters",
     "cortex_a57_reference",
     "jetson_nano_time_scaling",
+    "make_engine",
     "make_scheduler",
     "pidram_no_time_scaling",
     "preset",

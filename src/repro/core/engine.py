@@ -1,0 +1,182 @@
+"""Emulation engines: the cycle-stepped reference and the event-driven core.
+
+Both engines drive the same execution flow of Figures 5 and 6 — run the
+processor until it clock-gates on an unserviced last-level-cache miss,
+service every pending request in critical mode, resume at the release
+cycles — and both produce *bit-identical* run results: the emulated
+timeline is fully determined by the trace and the configuration, so an
+engine may only choose how the **host** spends its time, never when the
+emulated system does.
+
+:class:`CycleEngine`
+    The reference implementation.  Every request is staged through
+    :class:`~repro.core.easyapi.EasyAPI` into a
+    :class:`~repro.bender.program.BenderProgram`, walked instruction by
+    instruction by the Bender engine, and validated by the full
+    candidate-enumerating timing checker.  Simple, observable, and the
+    baseline the equivalence tests pin the event engine against.
+
+:class:`EventEngine`
+    The skip-ahead core.  The processor advances directly to its next
+    scheduled event (the gate), the software memory controller services
+    the batch bank-parallel — planned command offsets plus the timing
+    checker's fused per-bank queries instead of staged programs — and
+    every response release and tREFI deadline crossed along the way is
+    tracked on an explicit :class:`~repro.core.events.EventQueue`.
+    Technique episodes (RowClone, profiling, tRCD hooks) automatically
+    fall back to the reference path, so DRAM techniques observe the
+    exact machinery they manipulate.
+
+Engines are selected per system via ``EasyDRAMSystem(config,
+engine=...)`` or the ``REPRO_ENGINE`` environment variable (default:
+``event``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.core.events import EngineStats, EventKind, EventQueue
+from repro.cpu.memtrace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle at runtime
+    from repro.core.system import Session
+
+
+class EmulationDeadlock(Exception):
+    """The processor is blocked but no requests are pending."""
+
+
+#: Engine names accepted by :func:`make_engine` and ``REPRO_ENGINE``.
+ENGINE_NAMES = ("event", "cycle")
+
+DEFAULT_ENGINE = "event"
+
+
+def resolve_engine_name(name: str | None) -> str:
+    """Pick the engine: explicit argument, then ``REPRO_ENGINE``, then default."""
+    if name is None:
+        name = os.environ.get("REPRO_ENGINE", "") or DEFAULT_ENGINE
+    if name not in ENGINE_NAMES:
+        known = ", ".join(ENGINE_NAMES)
+        raise ValueError(f"unknown emulation engine {name!r}; known: {known}")
+    return name
+
+
+def make_engine(name: str | None = None):
+    """Instantiate the engine selected by ``name`` (see :func:`resolve_engine_name`)."""
+    resolved = resolve_engine_name(name)
+    if resolved == "cycle":
+        return CycleEngine()
+    return EventEngine()
+
+
+class CycleEngine:
+    """Reference engine: staged programs, instruction-walked execution."""
+
+    name = "cycle"
+
+    def __init__(self) -> None:
+        self.stats = EngineStats()
+
+    def run_trace(self, session: "Session", trace: Trace) -> None:
+        """Execute one trace segment to completion (Fig 5/6 flow)."""
+        proc = session.processor
+        counters = session.system.counters
+        smc = session.system.smc
+        pending = session._pending
+        proc.feed(trace)
+        while True:
+            burst = proc.execute_burst()
+            counters.advance_processor(proc.cycles)
+            pending.extend(burst.new_requests)
+            if burst.done:
+                if pending:
+                    smc.service_pending(pending)
+                    self.stats.releases += len(pending)
+                    pending.clear()
+                break
+            if not pending:
+                raise EmulationDeadlock(
+                    "processor blocked with no pending memory requests")
+            self.stats.gates += 1
+            smc.service_pending(pending)
+            self.stats.releases += len(pending)
+            pending.clear()
+
+
+class EventEngine:
+    """Skip-ahead engine: jump between events, service bank-parallel."""
+
+    name = "event"
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.stats = EngineStats()
+        self._proc_period = 0  # set on first run_trace
+
+    def run_trace(self, session: "Session", trace: Trace) -> None:
+        """Execute one trace segment, hopping event to event.
+
+        The loop below *is* the skip-ahead schedule: ``execute_burst``
+        advances the processor straight to the next gate (consuming any
+        release events the jump reaches), the batched service episode
+        moves the controller cursors request to request, and
+        :meth:`EventQueue.drain_until` accounts for everything the jump
+        passed over — including refresh deadlines that landed inside the
+        skipped interval and were issued, at their exact emulated times,
+        during the episode.
+        """
+        proc = session.processor
+        counters = session.system.counters
+        smc = session.system.smc
+        pending = session._pending
+        queue = self.queue
+        stats = self.stats
+        self._proc_period = session._proc_period
+        proc.feed(trace)
+        while True:
+            burst = proc.execute_burst()
+            counters.advance_processor(proc.cycles)
+            pending.extend(burst.new_requests)
+            if burst.done:
+                if pending:
+                    self._service(smc, pending)
+                    pending.clear()
+                break
+            if not pending:
+                raise EmulationDeadlock(
+                    "processor blocked with no pending memory requests")
+            stats.gates += 1
+            self._service(smc, pending)
+            pending.clear()
+            # Events scheduled at or before the gate — releases the
+            # processor's jump already passed, refresh deadlines that
+            # landed inside the skipped interval — were absorbed without
+            # dedicated host work; drain them so the queue stays small.
+            stats.events_skipped += queue.drain_until(proc.cycles)
+
+    # -- internals ------------------------------------------------------------
+
+    def _service(self, smc, pending: list) -> None:
+        """One critical-mode episode plus its event bookkeeping."""
+        batched = smc.service_pending_batched(
+            pending, refresh_sink=self._note_refresh)
+        if batched:
+            self.stats.batched_episodes += 1
+        else:
+            self.stats.fallback_episodes += 1
+        queue = self.queue
+        for request in pending:
+            self.stats.releases += 1
+            if request.release is not None:
+                queue.push(request.release, EventKind.RELEASE,
+                           payload=request.rid)
+
+    def _note_refresh(self, deadline_ps: int) -> None:
+        """Record a serviced tREFI deadline on the event queue."""
+        self.stats.refreshes += 1
+        if self._proc_period:
+            self.queue.push(deadline_ps // self._proc_period,
+                            EventKind.REFRESH)

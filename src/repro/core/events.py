@@ -1,0 +1,153 @@
+"""Event scheduling primitives for the event-driven emulation engine.
+
+The event-driven core (:mod:`repro.core.engine`) never ticks the host
+through emulated cycles one by one: the processor bursts directly to its
+next clock gate, the software memory controller jumps its cursors from
+request to request, and refresh deadlines that land inside a skipped
+interval are issued at their exact emulated times during the next
+critical-mode episode.  This module provides the bookkeeping that makes
+those skips explicit:
+
+* :class:`EventQueue` — a stable min-heap of :class:`Event` records on
+  the emulated timeline.  Events with equal timestamps pop in insertion
+  order (back-to-back release cycles are common at coarse processor
+  clocks, e.g. the 50 MHz "No Time Scaling" system, and their service
+  order must be deterministic).
+* :class:`EventKind` — the event vocabulary of Figures 5 and 6: the
+  processor clock-gating on an unserviced LLC miss (``GATE``), a
+  response becoming consumable at its release cycle (``RELEASE``), and a
+  tREFI refresh deadline (``REFRESH``).
+* :class:`EngineStats` — per-run counts the speed benchmark and the
+  Figure 14 engine comparison report.
+
+The queue is deliberately tiny and allocation-light: the event-driven
+engine's host-time win comes from *not* doing per-cycle work, so its own
+bookkeeping must stay off the critical path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class EventKind(IntEnum):
+    """What kind of emulation event a queue entry describes."""
+
+    #: The processor clock-gated on an unserviced LLC miss (Fig 5, (c)).
+    GATE = 0
+    #: A response becomes consumable at its release cycle (Fig 5, (10)).
+    RELEASE = 1
+    #: A tREFI refresh deadline was reached (serviced in critical mode).
+    REFRESH = 2
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence on the emulated timeline.
+
+    ``time`` is always in emulated processor cycles — the engine drains
+    the queue against the processor's cycle counter, so ``REFRESH``
+    deadlines (which natively live on the controller's picosecond axis)
+    are converted to cycles when pushed.  ``seq`` is the insertion
+    ticket that keeps equal-time events FIFO-stable.
+    """
+
+    time: int
+    seq: int
+    kind: EventKind
+    payload: int = 0
+
+
+class EventQueue:
+    """Stable min-heap of :class:`Event` records.
+
+    Ordering is ``(time, seq)`` so two events at the same emulated time
+    — e.g. back-to-back release cycles produced by one critical-mode
+    batch — pop in the order they were scheduled.
+    """
+
+    def __init__(self) -> None:
+        # Entries are plain (time, seq, kind, payload) tuples; Event
+        # records are materialized on the way out.  Pushes sit on the
+        # engine's hot path, pops happen in bulk after a skip.
+        self._heap: list[tuple[int, int, EventKind, int]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: int, kind: EventKind, payload: int = 0) -> None:
+        """Schedule an event."""
+        heapq.heappush(self._heap, (time, self._seq, kind, payload))
+        self._seq += 1
+
+    def peek(self) -> Event | None:
+        """The next event to fire, or None when the queue is empty."""
+        return Event(*self._heap[0]) if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next event (min time, then FIFO)."""
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        return Event(*heapq.heappop(self._heap))
+
+    def pop_until(self, time: int) -> list[Event]:
+        """Drain every event scheduled at or before ``time``.
+
+        This is the skip-ahead primitive: after the processor jumps to a
+        gate (or a release cycle), everything the jump passed over is
+        collected here so the engine can account for it.
+        """
+        fired: list[Event] = []
+        heap = self._heap
+        while heap and heap[0][0] <= time:
+            fired.append(Event(*heapq.heappop(heap)))
+        return fired
+
+    def drain_until(self, time: int) -> int:
+        """Like :meth:`pop_until` but only counts the drained events."""
+        n = 0
+        heap = self._heap
+        while heap and heap[0][0] <= time:
+            heapq.heappop(heap)
+            n += 1
+        return n
+
+    def clear(self) -> None:
+        """Drop all scheduled events (sequence numbers keep counting)."""
+        self._heap.clear()
+
+
+@dataclass
+class EngineStats:
+    """What an emulation engine did with the host time it was given."""
+
+    #: Clock-gating episodes (processor blocked on an unserviced miss).
+    gates: int = 0
+    #: Responses tagged with a release cycle.
+    releases: int = 0
+    #: Refresh deadlines serviced, including any that landed inside a
+    #: skipped interval and were issued during the next episode.
+    refreshes: int = 0
+    #: Service episodes that took the batched bank-parallel path.
+    batched_episodes: int = 0
+    #: Service episodes that fell back to the reference path (technique
+    #: hooks installed, or hardware FIFO state the fast path cannot see).
+    fallback_episodes: int = 0
+    #: Events (releases, refresh deadlines) the processor's jump passed
+    #: over without dedicated host work (drained after each gate by
+    #: :meth:`EventQueue.drain_until`).
+    events_skipped: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for reports and benchmark logs."""
+        return {
+            "gates": self.gates,
+            "releases": self.releases,
+            "refreshes": self.refreshes,
+            "batched_episodes": self.batched_episodes,
+            "fallback_episodes": self.fallback_episodes,
+            "events_skipped": self.events_skipped,
+        }

@@ -30,6 +30,7 @@ pathology of Figure 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.bender.engine import ExecResult
 from repro.bender.program import BenderProgram
@@ -39,7 +40,7 @@ from repro.core.schedulers import Scheduler, TableEntry, make_scheduler
 from repro.core.tile import EasyTile
 from repro.core.timescale import TimeScalingCounters
 from repro.cpu.processor import MemoryRequest
-from repro.dram.commands import CommandKind
+from repro.dram.commands import Command, CommandKind
 from repro.dram.timing import period_ps
 
 
@@ -204,6 +205,255 @@ class SoftwareMemoryController(ProgramExecutor):
                                     self.sched_cursor)
         else:
             self.sched_cursor = max(self.dram_cursor, sched_start + sched_ps)
+
+    # -- bank-parallel critical-mode servicing (event-engine fast path) ------------
+
+    def service_pending_batched(
+            self, requests: list[MemoryRequest],
+            refresh_sink: Callable[[int], None] | None = None) -> bool:
+        """Serve every pending request on the batched bank-parallel path.
+
+        Semantically identical to :meth:`service_pending` — same emulated
+        timeline, same statistics, same violation records — but the host
+        work per request collapses to integer arithmetic: the
+        conventional open-page command sequences are *planned* (command
+        kinds plus interface-cycle offsets) instead of staged through
+        :class:`BenderProgram` objects and walked by the Bender engine,
+        and every timing-legality question is answered by the timing
+        checker's batched per-bank query (:meth:`TimingChecker.earliest_ps`)
+        so independent banks are resolved in one fused pass instead of
+        one candidate object per (bank, constraint) pair.
+
+        Falls back to the reference path — and returns ``False`` — when a
+        technique hook is installed or the tile holds state the planner
+        cannot see (a non-empty request FIFO or a partially staged
+        program).  ``refresh_sink`` is called with each serviced tREFI
+        deadline so the event engine can log refreshes that landed inside
+        a skipped interval.
+        """
+        if not requests:
+            return True
+        if (self.serve_hook is not None or self.tile.has_requests
+                or len(self.api.program)):
+            self.service_pending(requests)
+            return False
+        api = self.api
+        costs = api.costs
+        self.counters.enter_critical()
+        api.charged_cycles += costs.critical_toggle  # set_scheduling_state(True)
+        api.critical = True
+        arrivals = sorted(requests, key=lambda r: r.tag)
+        now = arrivals[0].tag * self._proc_period + self._req_bus_ps
+        if self.sched_cursor > now:
+            now = self.sched_cursor
+        self.sched_cursor = now
+        table = self.table
+        scheduler = self.scheduler
+        banks = self.tile.device.banks
+        while arrivals or table:
+            arrivals = self._transfer_arrivals_batched(arrivals)
+            if not table:
+                next_arrival = (arrivals[0].tag * self._proc_period
+                                + self._req_bus_ps)
+                if next_arrival > self.sched_cursor:
+                    self.sched_cursor = next_arrival
+                continue
+            self._maybe_refresh_batched(refresh_sink)
+            api.charged_cycles += scheduler.decision_cost(len(table))
+            entry = scheduler.select(table, banks)
+            table.remove(entry)
+            self._serve_batched(entry)
+        api.charged_cycles += costs.critical_toggle  # set_scheduling_state(False)
+        api.critical = False
+        self._sync_mc_counter()
+        self.counters.exit_critical()
+        return True
+
+    def _transfer_arrivals_batched(
+            self, arrivals: list[MemoryRequest]) -> list[MemoryRequest]:
+        """:meth:`_transfer_arrivals` with the API call costs pre-summed."""
+        api = self.api
+        costs = api.costs
+        transfer_charge = (costs.receive_request + costs.address_map
+                           + costs.table_insert)
+        to_dram = self.tile.mapper.to_dram
+        table = self.table
+        tile_stats = self.tile.stats
+        pp = self._proc_period
+        bus = self._req_bus_ps
+        remaining: list[MemoryRequest] = []
+        for request in arrivals:
+            arrival_ps = request.tag * pp + bus
+            if arrival_ps <= self.sched_cursor or not table:
+                tile_stats.requests_received += 1
+                api.charged_cycles += transfer_charge
+                table.append(TableEntry(
+                    request=request, dram=to_dram(request.addr),
+                    arrival_order=self._arrival_counter))
+                self._arrival_counter += 1
+                if arrival_ps > self.sched_cursor:
+                    self.sched_cursor = arrival_ps
+            else:
+                remaining.append(request)
+        return remaining
+
+    def _plan_conventional(
+            self, dram, is_dram_write: bool) -> tuple[list, int, int, int]:
+        """Plan the open-page command sequence for one request.
+
+        Returns ``(commands, instruction_count, interface_cycles,
+        staging_charge)`` where ``commands`` is a list of
+        ``(Command, cycle_offset)`` pairs.  The offsets reproduce the
+        Bender engine's walk of the staged program exactly: one interface
+        cycle per DDR command plus the explicit WAITs that
+        ``read_sequence``/``write_sequence`` insert (``wait_after_command_ps``
+        rounds each gap up to the interface clock, minus the command's
+        own cycle).
+        """
+        t = self.config.timing
+        tck = t.tCK
+        ci = self.api.costs.command_insert
+        state = self.tile.device.banks[dram.bank]
+        cmds: list[tuple[Command, int]] = []
+        offset = 0
+        n_instr = 0
+        charge = 0
+        if state.open_row != dram.row:
+            if state.open_row is not None:
+                cmds.append((Command(CommandKind.PRE, bank=dram.bank), 0))
+                offset = 1
+                n_instr = 1
+                charge = ci
+                gap = t.tRP - tck
+                if gap > 0:
+                    offset += -(-gap // tck)
+                    n_instr += 1
+            cmds.append(
+                (Command(CommandKind.ACT, bank=dram.bank, row=dram.row), offset))
+            offset += 1
+            n_instr += 1
+            charge += ci
+            gap = t.tRCD - tck
+            if gap > 0:
+                offset += -(-gap // tck)
+                n_instr += 1
+        kind = CommandKind.WR if is_dram_write else CommandKind.RD
+        cmds.append((Command(kind, bank=dram.bank, col=dram.col), offset))
+        offset += 1
+        n_instr += 1
+        charge += ci
+        return cmds, n_instr, offset, charge
+
+    def _serve_batched(self, entry: TableEntry) -> None:
+        """:meth:`_serve` on the planned-command path (no staged program)."""
+        request = entry.request
+        api = self.api
+        costs = api.costs
+        dram = entry.dram
+        sched_start = self.sched_cursor
+        self.tile.classify_row_access(dram.bank, dram.row)
+        is_dram_write = request.is_writeback
+        cmds, n_instr, total_cycles, stage_charge = self._plan_conventional(
+            dram, is_dram_write)
+        sched_cycles = api.charged_cycles + stage_charge
+        api.charged_cycles = 0
+        self.stats.total_sched_cycles += sched_cycles
+        sched_ps = sched_cycles * self._mc_period
+        self.tile.stats.scheduling_ps += sched_ps
+        self._exec_anchor_ps = sched_start + sched_ps
+        # flush_commands(), inlined: the staged batch executes at the
+        # anchor, pushed to the first command's earliest legal time.
+        device = self.tile.device
+        start = self._exec_anchor_ps
+        if self.dram_cursor > start:
+            start = self.dram_cursor
+        earliest = device.checker.earliest_ps(
+            cmds[0][0], device.banks, device.rank)
+        if earliest > start:
+            start = earliest
+        tck = self.config.timing.tCK
+        issue = device.issue_discard
+        first = True
+        for cmd, off in cmds:
+            # The first command was already cleared against ``earliest``.
+            issue(cmd, start + off * tck, precleared=first)
+            first = False
+        bender = self.tile.engine
+        bender.programs_run += 1
+        bender.total_interface_cycles += total_cycles
+        measured = self.config.bender_domain.measure_ps(total_cycles * tck)
+        self.dram_cursor = start + measured
+        self.tile.stats.dram_busy_ps += measured
+        self.stats.batches_executed += 1
+        sched_ps += (costs.flush
+                     + costs.per_instruction_transfer * n_instr) * self._mc_period
+        dram_end = self.dram_cursor
+        release_ps = (dram_end + api.data_latency_ps(is_dram_write)
+                      + self._resp_bus_ps)
+        request.release = -(-release_ps // self._proc_period)
+        request.service_ps = dram_end - sched_start
+        if is_dram_write:
+            self.stats.serviced_writes += 1
+        else:
+            self.stats.serviced_reads += 1
+        # The cycle engine pops the readback line(s) and charges
+        # rdback/enqueue_response cycles that the reference path then
+        # discards unconsumed; mirror the discard.
+        api.charged_cycles = 0
+        self.tile.stats.responses_sent += 1
+        if self._pipelined:
+            occupied = sched_start + self._occupancy_ps
+            if occupied > self.sched_cursor:
+                self.sched_cursor = occupied
+        else:
+            cursor = sched_start + sched_ps
+            if self.dram_cursor > cursor:
+                cursor = self.dram_cursor
+            self.sched_cursor = cursor
+
+    def _maybe_refresh_batched(
+            self, refresh_sink: Callable[[int], None] | None) -> None:
+        """:meth:`_maybe_refresh` on the planned-command path."""
+        if not self.config.controller.refresh_enabled:
+            return
+        if self._next_refresh_ps > self.sched_cursor:
+            return
+        api = self.api
+        t = self.config.timing
+        tck = t.tCK
+        device = self.tile.device
+        bender = self.tile.engine
+        # precharge_all + WAIT(tRP) + refresh + WAIT(tRFC), one interface
+        # cycle per command plus the rounded-up waits.
+        total_cycles = 2 + -(-t.tRP // tck) + -(-t.tRFC // tck)
+        ref_offset = 1 + -(-t.tRP // tck)
+        elapsed = total_cycles * tck
+        measured = self.config.bender_domain.measure_ps(elapsed)
+        while self._next_refresh_ps <= self.sched_cursor:
+            api.charged_cycles = 0  # staging + accumulated charges discarded
+            anchor = self.sched_cursor
+            self._exec_anchor_ps = anchor
+            start = anchor if anchor >= self.dram_cursor else self.dram_cursor
+            prea = Command(CommandKind.PREA)
+            earliest = device.checker.earliest_ps(prea, device.banks, device.rank)
+            if earliest > start:
+                start = earliest
+            device.issue_discard(prea, start, precleared=True)
+            device.issue_discard(Command(CommandKind.REF), start + ref_offset * tck)
+            bender.programs_run += 1
+            bender.total_interface_cycles += total_cycles
+            self.dram_cursor = start + measured
+            self.tile.stats.dram_busy_ps += measured
+            self.stats.batches_executed += 1
+            api.charged_cycles = 0  # flush charges discarded
+            self.stats.refreshes += 1
+            self.tile.stats.refreshes_issued += 1
+            if refresh_sink is not None:
+                refresh_sink(self._next_refresh_ps)
+            self._next_refresh_ps += t.tREFI
+            if not self._pipelined:
+                if self.dram_cursor > self.sched_cursor:
+                    self.sched_cursor = self.dram_cursor
 
     # -- refresh -----------------------------------------------------------------
 

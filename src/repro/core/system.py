@@ -15,6 +15,12 @@ A :class:`Session` additionally supports the mixed CPU/technique flows
 the case studies need: running trace segments, flushing cache lines
 (CLFLUSH), and executing technique operations (RowClone, profiling
 requests) as critical-mode episodes.
+
+How the host walks that flow is delegated to an emulation engine
+(:mod:`repro.core.engine`): the event-driven skip-ahead core by default,
+or the cycle-stepped reference via ``engine="cycle"`` /
+``REPRO_ENGINE=cycle``.  Engine choice never changes results — only how
+fast the host produces them.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import time
 from repro.bender.engine import ExecResult
 from repro.core.config import SystemConfig
 from repro.core.easyapi import CostModel, EasyAPI
+from repro.core.engine import EmulationDeadlock, make_engine, resolve_engine_name
 from repro.core.smc import SoftwareMemoryController
 from repro.core.stats import Breakdown, RunResult
 from repro.core.tile import EasyTile
@@ -33,17 +40,24 @@ from repro.cpu.memtrace import Trace
 from repro.cpu.processor import MemoryRequest, Processor
 from repro.dram.timing import PS_PER_S, period_ps
 
-
-class EmulationDeadlock(Exception):
-    """The processor is blocked but no requests are pending."""
+__all__ = ["EasyDRAMSystem", "EmulationDeadlock", "Session"]
 
 
 class EasyDRAMSystem:
-    """One configured EasyDRAM instance (hardware + software controller)."""
+    """One configured EasyDRAM instance (hardware + software controller).
+
+    ``engine`` selects how the host executes the emulation — ``"event"``
+    (the skip-ahead event-driven core, default) or ``"cycle"`` (the
+    cycle-stepped reference) — and may also be set globally through the
+    ``REPRO_ENGINE`` environment variable.  Both engines produce
+    bit-identical results; see :mod:`repro.core.engine`.
+    """
 
     def __init__(self, config: SystemConfig,
-                 costs: CostModel | None = None) -> None:
+                 costs: CostModel | None = None,
+                 engine: str | None = None) -> None:
         self.config = config
+        self.engine_name = resolve_engine_name(engine)
         self.tile = EasyTile(config)
         self.api = EasyAPI(self.tile, costs=costs)
         self.counters = TimeScalingCounters()
@@ -52,9 +66,16 @@ class EasyDRAMSystem:
 
     # -- convenience -------------------------------------------------------
 
-    def session(self, workload_name: str = "workload") -> "Session":
-        """Start a fresh execution session (resets processor-side state)."""
-        return Session(self, workload_name)
+    def session(self, workload_name: str = "workload",
+                engine: str | None = None) -> "Session":
+        """Start a fresh execution session (resets processor-side state).
+
+        ``engine`` overrides the system's engine for this session only —
+        the equivalence tests use this to run the same system definition
+        under both engines.
+        """
+        return Session(self, workload_name,
+                       engine=engine if engine is not None else self.engine_name)
 
     def run(self, trace: Trace, workload_name: str = "workload") -> RunResult:
         """Run a single trace to completion and return its results."""
@@ -74,7 +95,8 @@ class EasyDRAMSystem:
 class Session:
     """A running emulation: processor state persists across trace segments."""
 
-    def __init__(self, system: EasyDRAMSystem, workload_name: str) -> None:
+    def __init__(self, system: EasyDRAMSystem, workload_name: str,
+                 engine: str | None = None) -> None:
         self.system = system
         self.workload_name = workload_name
         config = system.config
@@ -84,6 +106,8 @@ class Session:
                    config.l2.line_bytes, config.l2.hit_latency)
         self.hierarchy = CacheHierarchy(l1, l2, memory_fill_latency=2)
         self.processor = Processor(config.processor, self.hierarchy, trace=())
+        self.engine = make_engine(engine if engine is not None
+                                  else system.engine_name)
         self._pending: list[MemoryRequest] = []
         self._wall_start = time.perf_counter()
         self._proc_period = period_ps(config.processor.emulated_freq_hz)
@@ -91,25 +115,8 @@ class Session:
     # -- core loop (Fig 5/6) -----------------------------------------------------
 
     def run_trace(self, trace: Trace) -> None:
-        """Execute one trace segment to completion."""
-        proc = self.processor
-        counters = self.system.counters
-        smc = self.system.smc
-        proc.feed(trace)
-        while True:
-            burst = proc.execute_burst()
-            counters.advance_processor(proc.cycles)
-            self._pending.extend(burst.new_requests)
-            if burst.done:
-                if self._pending:
-                    smc.service_pending(self._pending)
-                    self._pending = []
-                break
-            if not self._pending:
-                raise EmulationDeadlock(
-                    "processor blocked with no pending memory requests")
-            smc.service_pending(self._pending)
-            self._pending = []
+        """Execute one trace segment to completion (delegates to the engine)."""
+        self.engine.run_trace(self, trace)
 
     # -- technique support --------------------------------------------------------
 

@@ -104,6 +104,12 @@ class TimeScalingCounters:
     critical_mode: bool = False
     #: Number of critical-mode episodes (for Figure 2's breakdown).
     critical_entries: int = 0
+    #: Emulated cycles the processor counter jumped over when critical
+    #: mode ended with the controller ahead (the catch-up rule below).
+    #: Purely diagnostic — it measures how much emulated time passes
+    #: without any per-cycle host work, which is exactly what the
+    #: event-driven engine exploits.
+    catch_up_cycles: int = 0
     #: History of (processor, memory_controller) snapshots for invariants.
     _locked_processor_at: int = field(default=0, repr=False)
 
@@ -124,6 +130,7 @@ class TimeScalingCounters:
         # memory-controller counter (the time the SMC consumed has passed
         # for the whole system).
         if self.memory_controller > self.processor:
+            self.catch_up_cycles += self.memory_controller - self.processor
             self.processor = self.memory_controller
 
     def advance_processor(self, to_cycle: int) -> None:

@@ -58,6 +58,14 @@ class Cache:
         """Probe for a line; on hit, update LRU and dirty bit."""
         ways = self._sets[line_addr % self.num_sets]
         tag = line_addr // self.num_sets
+        # MRU fast path: repeated touches to the hottest line skip the
+        # way scan entirely (the emulation engines probe per access, so
+        # this sits on every engine's hot path).
+        if ways and ways[0][0] == tag:
+            if is_write:
+                ways[0][1] = True
+            self.stats.hits += 1
+            return True
         for i, entry in enumerate(ways):
             if entry[0] == tag:
                 if i:

@@ -145,6 +145,20 @@ class Processor:
         if request.release is None:
             raise ValueError(f"delivered request without release: {request}")
 
+    def next_release_cycle(self) -> int | None:
+        """Release cycle of the oldest serviced outstanding fill, if any.
+
+        This is the processor's next scheduled RELEASE event on the
+        event-driven timeline: after a critical-mode episode the core
+        resumes by jumping directly to this cycle (Fig 5, step 10) —
+        no emulated cycle before it can make the core runnable.  Exposed
+        for engine instrumentation and the scheduler edge-case tests.
+        """
+        for request in self.outstanding:
+            if request.release is not None:
+                return request.release
+        return None
+
     def clflush(self, addr: int) -> tuple[int | None, int]:
         """Flush one line (memory-mapped CLFLUSH register, Section 7.1).
 

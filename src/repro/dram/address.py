@@ -48,22 +48,27 @@ class Geometry:
 
     @property
     def num_banks(self) -> int:
+        """Total banks in the rank (groups x banks per group)."""
         return self.bank_groups * self.banks_per_group
 
     @property
     def row_bytes(self) -> int:
+        """Bytes per DRAM row (columns x line size)."""
         return self.columns_per_row * self.line_bytes
 
     @property
     def bank_bytes(self) -> int:
+        """Bytes per bank."""
         return self.rows_per_bank * self.row_bytes
 
     @property
     def total_bytes(self) -> int:
+        """Bytes in the modeled rank."""
         return self.num_banks * self.bank_bytes
 
     @property
     def subarrays_per_bank(self) -> int:
+        """Subarrays per bank (RowClone works intra-subarray only)."""
         return -(-self.rows_per_bank // self.subarray_rows)
 
     def bank_group_of(self, bank: int) -> int:
@@ -103,9 +108,16 @@ class AddressMapper:
             raise ValueError(f"unknown scheme {scheme!r}; known: {self.SCHEMES}")
         self.geometry = geometry
         self.scheme = scheme
+        # Decoded-address memo: workloads revisit the same cache lines
+        # (pointer chases loop, kernels stream repeatedly), the decode is
+        # pure, and DramAddress is frozen — so sharing instances is safe.
+        self._decode_cache: dict[int, DramAddress] = {}
 
     def to_dram(self, phys_addr: int) -> DramAddress:
         """Decode a physical byte address into a DRAM coordinate."""
+        cached = self._decode_cache.get(phys_addr)
+        if cached is not None:
+            return cached
         g = self.geometry
         if phys_addr < 0:
             raise ValueError(f"negative physical address {phys_addr:#x}")
@@ -122,7 +134,9 @@ class AddressMapper:
             line //= g.num_banks
             col = line % g.columns_per_row
             row = (line // g.columns_per_row) % g.rows_per_bank
-        return DramAddress(bank=bank, row=row, col=col)
+        decoded = DramAddress(bank=bank, row=row, col=col)
+        self._decode_cache[phys_addr] = decoded
+        return decoded
 
     @staticmethod
     def _skew(row: int) -> int:
@@ -151,6 +165,7 @@ class AddressMapper:
         return self.scheme in ("row-bank-col", "row-bank-col-skew")
 
     def _check(self, addr: DramAddress) -> None:
+        """Range-check a DRAM coordinate against the geometry."""
         g = self.geometry
         if not (0 <= addr.bank < g.num_banks):
             raise ValueError(f"bank {addr.bank} out of range 0..{g.num_banks - 1}")

@@ -43,14 +43,17 @@ class BankState:
         self.last_pre = time_ps
 
     def read(self, time_ps: int) -> None:
+        """Record a RD command at ``time_ps``."""
         self.last_read = time_ps
 
     def write(self, time_ps: int, data_end_ps: int) -> None:
+        """Record a WR command and the end of its data burst."""
         self.last_write = time_ps
         self.last_write_data_end = data_end_ps
 
     @property
     def is_open(self) -> bool:
+        """Whether a row is currently latched in the row buffer."""
         return self.open_row is not None
 
     def reset(self) -> None:
@@ -83,5 +86,6 @@ class RankState:
         self.recent_acts = [t for t in self.recent_acts if t > cutoff]
 
     def acts_in_window(self, time_ps: int, window_ps: int) -> int:
+        """ACTs recorded within ``window_ps`` before ``time_ps``."""
         cutoff = time_ps - window_ps
         return sum(1 for t in self.recent_acts if t > cutoff)

@@ -59,6 +59,7 @@ class Command:
 
     @property
     def targets_bank(self) -> bool:
+        """Whether this command addresses a specific bank."""
         return self.kind in BANK_COMMANDS
 
     def short(self) -> str:

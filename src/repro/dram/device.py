@@ -52,10 +52,12 @@ class DeviceStats:
     retention_failures: int = 0
 
     def count(self, kind: CommandKind) -> None:
+        """Record one issued command of ``kind``."""
         key = kind.value
         self.commands[key] = self.commands.get(key, 0) + 1
 
     def total_commands(self) -> int:
+        """Total DDR commands issued across all kinds."""
         return sum(self.commands.values())
 
 
@@ -82,6 +84,15 @@ class DramDevice:
         self._rows: dict[tuple[int, int], bytearray] = {}
         self._last_issue_ps = -1
         self._rowclone_attempt_counter = 0
+        self._handlers = {
+            CommandKind.ACT: self._do_act,
+            CommandKind.PRE: self._do_pre,
+            CommandKind.PREA: self._do_prea,
+            CommandKind.RD: self._do_rd,
+            CommandKind.WR: self._do_wr,
+            CommandKind.REF: self._do_ref,
+            CommandKind.NOP: self._do_nop,
+        }
 
     # -- command execution -------------------------------------------------
 
@@ -94,18 +105,70 @@ class DramDevice:
         self._validate(cmd)
         self.checker.check(cmd, time_ps, self.banks, self.rank)
         self.stats.count(cmd.kind)
-        handler = {
-            CommandKind.ACT: self._do_act,
-            CommandKind.PRE: self._do_pre,
-            CommandKind.PREA: self._do_prea,
-            CommandKind.RD: self._do_rd,
-            CommandKind.WR: self._do_wr,
-            CommandKind.REF: self._do_ref,
-            CommandKind.NOP: self._do_nop,
-        }[cmd.kind]
-        return handler(cmd, time_ps)
+        return self._handlers[cmd.kind](cmd, time_ps)
+
+    def issue_discard(self, cmd: Command, time_ps: int,
+                      precleared: bool = False) -> None:
+        """Execute one command whose read data (if any) would be discarded.
+
+        The event-driven engine's conventional read/write service path
+        never consumes the captured cache line — the cycle engine pops it
+        from the readback buffer and throws it away — so this variant
+        skips materializing row contents while keeping every observable
+        side effect of :meth:`issue` identical: the monotonicity check,
+        the (batched) timing validation with its violation records, bank
+        and rank state updates, command counts, RowClone detection, and
+        the reliability/retention statistics.
+
+        ``precleared=True`` skips the timing check: the caller already
+        computed this command's earliest legal time against the *current*
+        device state and chose ``time_ps`` at or after it, so the check
+        could neither raise nor record anything.
+        """
+        if time_ps < self._last_issue_ps:
+            raise ValueError(
+                f"command stream went backwards: {time_ps} < {self._last_issue_ps}")
+        self._last_issue_ps = time_ps
+        if not precleared:
+            self.checker.check_fast(cmd, time_ps, self.banks, self.rank)
+        self.stats.count(cmd.kind)
+        kind = cmd.kind
+        if kind is CommandKind.RD:
+            bank = self.banks[cmd.bank]
+            if bank.open_row is None:
+                raise RuntimeError(
+                    f"RD to bank {cmd.bank} with no open row at {time_ps} ps")
+            row = bank.open_row
+            bank.read(time_ps)
+            trcd_used = time_ps - bank.last_act
+            if not self.cells.read_is_reliable(cmd.bank, row, trcd_used):
+                self.stats.unreliable_reads += 1
+            elif self.retention_modeling and self._retention_lapsed(time_ps):
+                if self._row_is_leaky(cmd.bank, row):
+                    self.stats.retention_failures += 1
+            return None
+        if kind is CommandKind.WR:
+            bank = self.banks[cmd.bank]
+            if bank.open_row is None:
+                raise RuntimeError(
+                    f"WR to bank {cmd.bank} with no open row at {time_ps} ps")
+            row = bank.open_row
+            data = cmd.data
+            if data is not None:
+                self._write_line(cmd.bank, row, cmd.col, data)
+            elif (cmd.bank, row) in self._rows:
+                # A conventional writeback stores the power-on filler
+                # pattern (the caches are tag-only); that only changes
+                # anything if a technique already materialized this row.
+                self._write_line(cmd.bank, row, cmd.col,
+                                 self.default_line(cmd.bank, row, cmd.col))
+            bank.write(time_ps, time_ps + self.timing.tCWL + self.timing.tBL)
+            return None
+        self._handlers[kind](cmd, time_ps)
+        return None
 
     def _do_act(self, cmd: Command, t: int) -> None:
+        """ACT: open a row (detecting the RowClone ACT-PRE-ACT pattern)."""
         bank = self.banks[cmd.bank]
         self._maybe_rowclone(bank, cmd.row, t)
         bank.activate(cmd.row, t)
@@ -113,15 +176,18 @@ class DramDevice:
         return None
 
     def _do_pre(self, cmd: Command, t: int) -> None:
+        """PRE: close the addressed bank's open row."""
         self.banks[cmd.bank].precharge(t)
         return None
 
     def _do_prea(self, cmd: Command, t: int) -> None:
+        """PREA: close every bank's open row."""
         for bank in self.banks:
             bank.precharge(t)
         return None
 
     def _do_rd(self, cmd: Command, t: int) -> ReadResult:
+        """RD: return one cache line, applying cell-model corruption."""
         bank = self.banks[cmd.bank]
         if bank.open_row is None:
             raise RuntimeError(
@@ -144,6 +210,7 @@ class DramDevice:
                           bank=cmd.bank, row=row, col=cmd.col)
 
     def _do_wr(self, cmd: Command, t: int) -> None:
+        """WR: store one cache line into the open row."""
         bank = self.banks[cmd.bank]
         if bank.open_row is None:
             raise RuntimeError(
@@ -157,11 +224,13 @@ class DramDevice:
         return None
 
     def _do_ref(self, cmd: Command, t: int) -> None:
+        """REF: refresh the rank, resetting the retention epoch."""
         self.rank.last_ref = t
         self.rank.refresh_epoch_ps = t
         return None
 
     def _do_nop(self, cmd: Command, t: int) -> None:
+        """NOP: consume one interface cycle."""
         return None
 
     # -- RowClone semantics ---------------------------------------------------
@@ -197,6 +266,7 @@ class DramDevice:
         return unit * (self.geometry.line_bytes // 4)
 
     def _row(self, bank: int, row: int) -> bytearray:
+        """Materialize (lazily) and return a row's backing storage."""
         key = (bank, row)
         data = self._rows.get(key)
         if data is None:
@@ -208,11 +278,13 @@ class DramDevice:
         return data
 
     def _read_line(self, bank: int, row: int, col: int) -> bytes:
+        """Copy one cache line out of a row."""
         line = self.geometry.line_bytes
         data = self._row(bank, row)
         return bytes(data[col * line:(col + 1) * line])
 
     def _write_line(self, bank: int, row: int, col: int, payload: bytes) -> None:
+        """Store one cache line into a row (validating its size)."""
         line = self.geometry.line_bytes
         if len(payload) != line:
             raise ValueError(
@@ -235,6 +307,7 @@ class DramDevice:
     # -- retention ------------------------------------------------------------
 
     def _retention_lapsed(self, t: int) -> bool:
+        """Whether the rank has gone longer than tREFW without refresh."""
         return t - self.rank.refresh_epoch_ps > self.timing.tREFW
 
     def _row_is_leaky(self, bank: int, row: int) -> bool:
@@ -245,6 +318,7 @@ class DramDevice:
     # -- misc -------------------------------------------------------------------
 
     def _validate(self, cmd: Command) -> None:
+        """Range-check the command's bank/row/column coordinates."""
         g = self.geometry
         if cmd.targets_bank and not (0 <= cmd.bank < g.num_banks):
             raise ValueError(f"bank {cmd.bank} out of range for {cmd.short()}")

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Verify that relative links in the repo's Markdown files resolve.
+
+Scans every ``*.md`` file (excluding caches and results) for inline
+``[text](target)`` links and checks that each *local* target exists
+relative to the file that references it.  External links (``http(s)://``,
+``mailto:``) and pure in-page anchors are skipped — CI should not fail
+on somebody else's outage — but a local target's ``#anchor`` suffix is
+stripped before the existence check.
+
+Exit status: 0 when every local link resolves, 1 otherwise (with one
+line per broken link).  Used by the ``docs`` CI job so the architecture
+and experiment docs cannot rot silently; run locally with
+``python tools/check_markdown_links.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {".git", ".repro-cache", "results", "__pycache__", ".ruff_cache"}
+
+#: Scraped reference dumps (paper/related-work text with figure links
+#: that only existed in the original PDFs) — not docs we maintain.
+SKIP_FILES = {"PAPERS.md", "SNIPPETS.md", "PAPER.md"}
+
+#: Inline Markdown links; deliberately simple — our docs do not use
+#: reference-style links or angle-bracket targets.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """Every Markdown file under ``root``, skipping caches and results."""
+    return [
+        path for path in sorted(root.rglob("*.md"))
+        if not (set(path.relative_to(root).parts[:-1]) & SKIP_DIRS)
+        and path.name not in SKIP_FILES
+    ]
+
+
+def broken_links(path: Path, root: Path) -> list[str]:
+    """Local link targets in ``path`` that do not exist."""
+    problems = []
+    for target in LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):  # in-page anchor
+            continue
+        local = target.split("#", 1)[0]
+        resolved = (path.parent / local).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(root)}: broken link -> {target}")
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    problems: list[str] = []
+    files = markdown_files(root)
+    for path in files:
+        problems.extend(broken_links(path, root))
+    for line in problems:
+        print(line, file=sys.stderr)
+    print(f"checked {len(files)} markdown files:"
+          f" {len(problems)} broken local links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
