@@ -9,7 +9,22 @@ harness's wall time.  Set ``REPRO_FULL=1`` for paper-scale sweeps.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    """Tag everything under benchmarks/ with the ``bench`` marker.
+
+    Tier-1 runs (`pytest` with the default ``-m "not bench"`` addopts)
+    then skip the benchmark suite; ``pytest -m bench`` selects it.
+    """
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.bench)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -1,0 +1,221 @@
+"""Persistent emulation-speed benchmark harness.
+
+Runs the tagged performance workloads (the Figure 8 trace and the
+Figure 10 CPU-copy stream) under the event engine with the array-native
+fast path on and off, and writes ``BENCH_emulation.json``: per-workload
+wall time, accesses per second, the measured fast-path speedup, plus
+engine/revision metadata.  Future PRs regress against the *speedup*
+column — the on/off ratio on the same host in the same process — because
+absolute wall times are machine-dependent while the ratio is stable.
+
+Usage::
+
+    python benchmarks/harness.py                 # write BENCH_emulation.json
+    python benchmarks/harness.py --check         # also gate vs the baseline
+    python benchmarks/harness.py --update-baseline
+    python -m repro run --bench                  # the CLI front door
+
+The checked-in baseline lives at ``benchmarks/BENCH_baseline.json``; the
+gate fails when any workload's speedup drops more than
+:data:`REGRESSION_TOLERANCE` below its baseline value.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Callable
+
+from repro.core.config import jetson_nano_time_scaling
+from repro.core.system import EasyDRAMSystem
+from repro.workloads import lmbench, microbench
+
+#: Fractional speedup loss vs the checked-in baseline that fails the gate.
+REGRESSION_TOLERANCE = 0.20
+
+#: Timing rounds per (workload, mode); the fastest round is kept so
+#: transient host load cannot fail the gate spuriously.
+ROUNDS = 3
+
+#: Fig 8's main-memory regime: a working set far beyond the 512 KiB L2.
+FIG08_WORKING_SET = 2 * 1024 * 1024
+FIG08_CHASE_ACCESSES = 12_000
+
+#: Fig 10 CPU-copy: src/dst anchors of the RowClone case study.
+COPY_BYTES = 2 * 1024 * 1024
+COPY_SRC = 0
+COPY_DST = 1 << 26
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "BENCH_baseline.json")
+
+
+def _fig08(session, fast: bool) -> None:
+    if fast:
+        session.run_trace(microbench.touch_blocks(0, FIG08_WORKING_SET))
+        session.run_trace(lmbench.pointer_chase_blocks(
+            FIG08_WORKING_SET, FIG08_CHASE_ACCESSES, base_addr=0))
+    else:
+        session.run_trace(microbench.touch_trace(0, FIG08_WORKING_SET))
+        session.run_trace(lmbench.pointer_chase(
+            FIG08_WORKING_SET, FIG08_CHASE_ACCESSES, base_addr=0))
+
+
+def _fig10_copy(session, fast: bool) -> None:
+    if fast:
+        session.run_trace(microbench.cpu_copy_blocks(
+            COPY_SRC, COPY_DST, COPY_BYTES))
+    else:
+        session.run_trace(microbench.cpu_copy_trace(
+            COPY_SRC, COPY_DST, COPY_BYTES))
+
+
+#: workload name -> driver(session, fast)
+WORKLOADS: dict[str, Callable] = {
+    "fig08": _fig08,
+    "fig10-cpu-copy": _fig10_copy,
+}
+
+
+def _run_once(driver: Callable, fast: bool) -> tuple[float, dict]:
+    """One emulation run; returns (wall seconds, observable artifact)."""
+    prev = os.environ.get("REPRO_FASTPATH")
+    os.environ["REPRO_FASTPATH"] = "1" if fast else "0"
+    try:
+        system = EasyDRAMSystem(jetson_nano_time_scaling(), engine="event")
+        session = system.session("bench")
+        start = time.perf_counter()
+        driver(session, fast)
+        wall = time.perf_counter() - start
+        result = session.finish()
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_FASTPATH", None)
+        else:
+            os.environ["REPRO_FASTPATH"] = prev
+    artifact = dataclasses.asdict(result)
+    artifact.pop("wall_seconds")
+    artifact["smc"] = dataclasses.asdict(system.smc.stats)
+    artifact["device"] = dataclasses.asdict(system.device.stats)
+    return wall, artifact
+
+
+def measure_workload(name: str, rounds: int = ROUNDS) -> dict:
+    """Benchmark one workload fast-path-on vs -off (best of ``rounds``)."""
+    driver = WORKLOADS[name]
+    base_wall = fast_wall = float("inf")
+    base_artifact = fast_artifact = None
+    for _ in range(rounds):
+        wall, base_artifact = _run_once(driver, fast=False)
+        base_wall = min(base_wall, wall)
+        wall, fast_artifact = _run_once(driver, fast=True)
+        fast_wall = min(fast_wall, wall)
+    if base_artifact != fast_artifact:
+        raise AssertionError(
+            f"{name}: fast path changed the emulated artifact")
+    accesses = fast_artifact["accesses"]
+    return {
+        "workload": name,
+        "accesses": accesses,
+        "baseline_wall_s": round(base_wall, 4),
+        "fastpath_wall_s": round(fast_wall, 4),
+        "baseline_accesses_per_s": round(accesses / base_wall),
+        "fastpath_accesses_per_s": round(accesses / fast_wall),
+        "speedup": round(base_wall / fast_wall, 3),
+    }
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)))
+        return out.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def run_benchmarks(rounds: int = ROUNDS) -> dict:
+    """Measure every tagged workload and assemble the report."""
+    return {
+        "schema": "bench-emulation/v1",
+        "engine": "event",
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "rounds": rounds,
+        "results": [measure_workload(name, rounds) for name in WORKLOADS],
+    }
+
+
+def check_regression(report: dict, baseline: dict,
+                     tolerance: float = REGRESSION_TOLERANCE) -> list[str]:
+    """Speedup regressions of ``report`` vs ``baseline`` (empty = pass)."""
+    failures = []
+    baseline_by_name = {r["workload"]: r for r in baseline.get("results", [])}
+    for row in report["results"]:
+        ref = baseline_by_name.get(row["workload"])
+        if ref is None:
+            continue
+        floor = ref["speedup"] * (1.0 - tolerance)
+        if row["speedup"] < floor:
+            failures.append(
+                f"{row['workload']}: speedup {row['speedup']:.2f}x is"
+                f" below {floor:.2f}x ({ref['speedup']:.2f}x baseline"
+                f" - {tolerance:.0%} tolerance)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the emulation speed benchmarks")
+    parser.add_argument("--out", default="BENCH_emulation.json",
+                        help="report path (default: ./BENCH_emulation.json)")
+    parser.add_argument("--rounds", type=int, default=ROUNDS)
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >20%% speedup regression vs baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help=f"rewrite {BASELINE_PATH}")
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(rounds=args.rounds)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    for row in report["results"]:
+        print(f"{row['workload']:16s} base {row['baseline_wall_s']:.3f}s"
+              f"  fast {row['fastpath_wall_s']:.3f}s"
+              f"  ({row['speedup']:.2f}x,"
+              f" {row['fastpath_accesses_per_s']:,} acc/s)")
+    print(f"wrote {args.out}")
+
+    if args.update_baseline:
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"updated {BASELINE_PATH}")
+        return 0
+    if args.check:
+        if not os.path.exists(BASELINE_PATH):
+            print(f"no baseline at {BASELINE_PATH}; run --update-baseline",
+                  file=sys.stderr)
+            return 2
+        with open(BASELINE_PATH) as fh:
+            baseline = json.load(fh)
+        failures = check_regression(report, baseline)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print("benchmark gate passed (within tolerance of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,8 @@ from repro.bender.program import BenderProgram
 from repro.core.tile import EasyTile
 from repro.cpu.processor import MemoryRequest
 from repro.dram.address import DramAddress
-from repro.dram.commands import CommandKind
+from repro.dram.commands import Command, CommandKind
+from repro.fastpath import fastpath_enabled
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,13 @@ class EasyAPI:
         self.executor: ProgramExecutor | None = None
         self.last_exec: ExecResult | None = None
         self.critical = False
+        # Conventional-sequence program pool (REPRO_FASTPATH): the
+        # open-page read/write/refresh programs have a fixed shape per
+        # row-buffer case, so the staged BenderProgram is built once and
+        # re-patched with bank/row/column instead of reallocated.
+        self._pool_enabled = fastpath_enabled()
+        self._conv_pool: dict[object, tuple[BenderProgram, list[Command], int]] = {}
+        self._lent: BenderProgram | None = None
 
     # -- cost accounting ----------------------------------------------------
 
@@ -156,8 +164,18 @@ class EasyAPI:
         self.charge(self.costs.flush + self.costs.per_instruction_transfer * n)
         if self.executor is None:
             raise RuntimeError("EasyAPI has no program executor installed")
-        self.program.finish()
-        result = self.executor.execute_staged(self.program, respect_timing)
+        program = self.program
+        lent = self._lent
+        self._lent = None
+        program.finish()
+        try:
+            result = self.executor.execute_staged(program, respect_timing)
+        finally:
+            if lent is program:
+                # Restore the pooled template: strip the END that
+                # finish() appended so the next lease sees the bare
+                # command sequence again.
+                program.instructions.pop()
         self.last_exec = result
         self.program = BenderProgram(self.tile.config.timing)
         return result
@@ -214,6 +232,73 @@ class EasyAPI:
             self.ddr_activate(dram.bank, dram.row)
             self.wait_after_command_ps(t.tRCD)
         self.ddr_write(dram.bank, dram.col, data)
+
+    def stage_conventional(self, dram: DramAddress, is_write: bool) -> None:
+        """Stage a conventional open-page sequence via the program pool.
+
+        Behaviorally identical to :meth:`read_sequence` /
+        :meth:`write_sequence` (same staged instructions, same cycle
+        charges): on a pool hit the memoized program's commands are
+        patched with this request's bank/row/column and the program is
+        *lent* as the staged batch — :meth:`flush_commands` returns it to
+        the pool intact.  Falls back to the plain builders when pooling
+        is disabled or a partially staged program exists.
+        """
+        if not self._pool_enabled or self.program.instructions:
+            if is_write:
+                self.write_sequence(dram)
+            else:
+                self.read_sequence(dram)
+            return
+        open_row = self.tile.device.banks[dram.bank].open_row
+        if open_row == dram.row:
+            case = 0
+        elif open_row is None:
+            case = 1
+        else:
+            case = 2
+        key = (case, is_write)
+        entry = self._conv_pool.get(key)
+        if entry is None:
+            if is_write:
+                self.write_sequence(dram)
+            else:
+                self.read_sequence(dram)
+            program = self.program
+            commands = [ins.command for ins in program.instructions
+                        if ins.command is not None]
+            self._conv_pool[key] = (
+                program, commands,
+                len(commands) * self.costs.command_insert)
+            self._lent = program
+            return
+        program, commands, charge = entry
+        bank, row, col = dram.bank, dram.row, dram.col
+        for command in commands:
+            command.bank = bank
+            command.row = row
+            command.col = col
+        self.charge(charge)
+        self.program = program
+        self._lent = program
+
+    def stage_refresh(self) -> None:
+        """Stage the refresh burst via the program pool (see above)."""
+        if not self._pool_enabled or self.program.instructions:
+            self.refresh_sequence()
+            return
+        entry = self._conv_pool.get("refresh")
+        if entry is None:
+            self.refresh_sequence()
+            program = self.program
+            self._conv_pool["refresh"] = (
+                program, [], 2 * self.costs.command_insert)
+            self._lent = program
+            return
+        program, _commands, charge = entry
+        self.charge(charge)
+        self.program = program
+        self._lent = program
 
     def data_latency_ps(self, is_write: bool) -> int:
         """Data-return time of a column access (added to the release tag)."""

@@ -35,6 +35,8 @@ engine=...)`` or the ``REPRO_ENGINE`` environment variable (default:
 from __future__ import annotations
 
 import os
+from heapq import heappop as _heappop
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING
 
 from repro.core.events import EngineStats, EventKind, EventQueue
@@ -136,6 +138,53 @@ class EventEngine:
         stats = self.stats
         self._proc_period = session._proc_period
         proc.feed(trace)
+        if proc.in_block_mode:
+            # Inverted control: the block replay loop services gates in
+            # place (no per-gate burst return/re-entry).  The callback
+            # body is exactly one iteration of the loop below, with the
+            # event-queue push/drain inlined (entries and sequence
+            # numbers identical to EventQueue.push/drain_until).
+            advance = counters.advance_processor
+            service_batched = smc.service_pending_batched
+            note_refresh = self._note_refresh
+            heap = queue._heap
+            heappush = _heappush
+            heappop = _heappop
+            release_kind = EventKind.RELEASE
+
+            def gate(new_requests: list, done: bool) -> None:
+                cycles = proc.cycles
+                advance(cycles)
+                if not new_requests:
+                    if done:
+                        return
+                    raise EmulationDeadlock(
+                        "processor blocked with no pending memory requests")
+                if not done:
+                    stats.gates += 1
+                if service_batched(new_requests, refresh_sink=note_refresh):
+                    stats.batched_episodes += 1
+                else:
+                    stats.fallback_episodes += 1
+                stats.releases += len(new_requests)
+                seq = queue._seq
+                for request in new_requests:
+                    release = request.release
+                    if release is not None:
+                        heappush(heap, (release, seq, release_kind,
+                                        request.rid))
+                        seq += 1
+                queue._seq = seq
+                if done:
+                    return
+                skipped = 0
+                while heap and heap[0][0] <= cycles:
+                    heappop(heap)
+                    skipped += 1
+                stats.events_skipped += skipped
+
+            proc.execute_gated(gate)
+            return
         while True:
             burst = proc.execute_burst()
             counters.advance_processor(proc.cycles)

@@ -16,9 +16,13 @@ from repro.dram.address import DramAddress
 from repro.dram.bank import BankState
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class TableEntry:
-    """A request decoded and parked in the software request table."""
+    """A request decoded and parked in the software request table.
+
+    Identity semantics (``eq=False``): ``table.remove(entry)`` removes
+    the selected object itself, so equality never needs field tuples.
+    """
 
     request: MemoryRequest
     dram: DramAddress
@@ -54,6 +58,16 @@ class FCFS(Scheduler):
             raise ValueError("cannot schedule from an empty request table")
         return min(table, key=lambda e: e.arrival_order)
 
+    def select_flat(self, table: list[tuple],
+                    open_row: list[int]) -> tuple:
+        """:meth:`select` on the fast path's flat request table.
+
+        Fast-path table entries are ``(arrival_order, request, dram)``
+        tuples, appended in arrival order; removals keep the list
+        ordered, so the oldest entry is the first one.
+        """
+        return table[0]
+
     def decision_cost(self, table_len: int) -> int:
         return 3 + table_len
 
@@ -81,6 +95,35 @@ class FRFCFS(Scheduler):
             key = (1 if entry.is_write else 0,
                    0 if row_hit else 1, entry.arrival_order)
             if best_key is None or key < best_key:
+                best, best_key = entry, key
+        assert best is not None
+        return best
+
+    def select_flat(self, table: list[tuple],
+                    open_row: list[int]) -> tuple:
+        """:meth:`select` on the fast path's flat request table.
+
+        Entries are ``(arrival_order, request, dram)`` tuples.  The
+        (write, row-miss, age) key is packed into one integer —
+        ``arrival_order`` is far below 2**60, so the packed comparison
+        is exactly the lexicographic tuple comparison.
+        """
+        # The oldest entry has the smallest arrival order, so if it is a
+        # read row-hit nothing can beat it — the common case on
+        # streaming fills is O(1).
+        order, request, dram = table[0]
+        if not request.is_writeback and open_row[dram.bank] == dram.row:
+            return table[0]
+        best: tuple | None = None
+        best_key = 1 << 63
+        for entry in table:
+            order, request, dram = entry
+            key = order
+            if request.is_writeback:
+                key += 2 << 60
+            if open_row[dram.bank] != dram.row:
+                key += 1 << 60
+            if key < best_key:
                 best, best_key = entry, key
         assert best is not None
         return best

@@ -41,7 +41,9 @@ from repro.core.tile import EasyTile
 from repro.core.timescale import TimeScalingCounters
 from repro.cpu.processor import MemoryRequest
 from repro.dram.commands import Command, CommandKind
+from repro.dram.flat_timing import K_ACT, K_PRE, K_PREA, K_RD, K_REF, K_WR
 from repro.dram.timing import period_ps
+from repro.fastpath import fastpath_enabled
 
 
 @dataclass
@@ -85,6 +87,111 @@ class SoftwareMemoryController(ProgramExecutor):
         self._resp_bus_ps = cc.response_bus_cycles * self._mc_period
         #: Technique hook: may replace the read/write staging for a request.
         self.serve_hook = None
+        # Stable tile internals, hoisted off the per-request path.
+        self._tile_stats = tile.stats
+        self._device = tile.device
+        self._flat = tile.device.flat
+        self._flat_earliest = tile.device.flat.earliest
+        self._issue_plan = tile.device.issue_plan
+        self._issue_col = tile.device.issue_col
+        self._bender = tile.engine
+        self._mapper = tile.mapper
+        # Array-native fast path (REPRO_FASTPATH): memoized conventional
+        # command plans + flat timing-state queries.  Off, the batched
+        # path runs the PR 2 object pipeline unchanged.
+        self._fastpath = fastpath_enabled()
+        if self._fastpath:
+            self._build_plans()
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The request scheduler (reassignable, e.g. by the ablations)."""
+        return self._scheduler
+
+    @scheduler.setter
+    def scheduler(self, value: Scheduler) -> None:
+        self._scheduler = value
+        # The fast-path episode functions close over the scheduler (its
+        # select and decision-cost hooks); swapping it rebuilds them.
+        if getattr(self, "_fastpath", False) and hasattr(self, "_plans"):
+            self._decision_cost_1 = value.decision_cost(1)
+            self._service_single = self._make_service_single()
+            self._service_fast = self._make_service_fast()
+
+    def _build_plans(self) -> None:
+        """Memoize the conventional open-page command plans.
+
+        A plan depends only on the row-buffer case (0 = hit, 1 = closed
+        bank, 2 = conflict) and the access direction, never on the
+        concrete bank/row/column — those are patched in at issue time.
+        Each entry is ``(kinds, offsets, total_cycles, stage_charge,
+        measured_ps, post_flush_ps)`` with offsets in interface cycles,
+        reproducing :meth:`_plan_conventional` exactly.
+        """
+        t = self.config.timing
+        tck = t.tCK
+        costs = self.api.costs
+        ci = costs.command_insert
+        bender_domain = self.config.bender_domain
+        plans: dict[tuple[int, bool], tuple] = {}
+        for case in (0, 1, 2):
+            for is_write in (False, True):
+                kinds: list[int] = []
+                offsets: list[int] = []
+                offset = 0
+                n_instr = 0
+                charge = 0
+                if case == 2:
+                    kinds.append(K_PRE)
+                    offsets.append(0)
+                    offset = 1
+                    n_instr = 1
+                    charge = ci
+                    gap = t.tRP - tck
+                    if gap > 0:
+                        offset += -(-gap // tck)
+                        n_instr += 1
+                if case >= 1:
+                    kinds.append(K_ACT)
+                    offsets.append(offset)
+                    offset += 1
+                    n_instr += 1
+                    charge += ci
+                    gap = t.tRCD - tck
+                    if gap > 0:
+                        offset += -(-gap // tck)
+                        n_instr += 1
+                kinds.append(K_WR if is_write else K_RD)
+                offsets.append(offset)
+                offset += 1
+                n_instr += 1
+                charge += ci
+                plans[(case, is_write)] = (
+                    tuple(kinds), tuple(offsets), offset, charge,
+                    bender_domain.measure_ps(offset * tck),
+                    (costs.flush + costs.per_instruction_transfer * n_instr)
+                    * self._mc_period)
+        self._plans = plans
+        # Indexable view: plan of (case, is_write) at [2*case + is_write].
+        self._plan_list = tuple(plans[(case, w)] for case in (0, 1, 2)
+                                for w in (False, True))
+        self._transfer_charge = (costs.receive_request + costs.address_map
+                                 + costs.table_insert)
+        self._critical_toggle = costs.critical_toggle
+        self._decision_cost_1 = self.scheduler.decision_cost(1)
+        self._refresh_enabled = self.config.controller.refresh_enabled
+        self._decode_cache = self._mapper._decode_cache
+        self._tck = tck
+        self._lat_rd_ps = t.tCL + t.tBL
+        self._lat_wr_ps = t.tCWL + t.tBL
+        # Refresh episode constants (precharge_all + WAIT(tRP) + refresh
+        # + WAIT(tRFC), one interface cycle per command).
+        self._ref_cycles = 2 + -(-t.tRP // tck) + -(-t.tRFC // tck)
+        self._ref_offset_ps = (1 + -(-t.tRP // tck)) * tck
+        self._ref_measured = bender_domain.measure_ps(self._ref_cycles * tck)
+        self._serve_flat_core = self._make_serve_flat()
+        self._service_single = self._make_service_single()
+        self._service_fast = self._make_service_fast()
 
     # -- ProgramExecutor --------------------------------------------------------
 
@@ -174,10 +281,8 @@ class SoftwareMemoryController(ProgramExecutor):
         is_dram_write = request.is_writeback
         if self.serve_hook is not None:
             self.serve_hook(self.api, entry)
-        elif is_dram_write:
-            self.api.write_sequence(entry.dram)
         else:
-            self.api.read_sequence(entry.dram)
+            self.api.stage_conventional(entry.dram, is_dram_write)
         sched_cycles = self.api.take_charges()
         self.stats.total_sched_cycles += sched_cycles
         sched_ps = sched_cycles * self._mc_period
@@ -237,6 +342,12 @@ class SoftwareMemoryController(ProgramExecutor):
                 or len(self.api.program)):
             self.service_pending(requests)
             return False
+        if self._fastpath:
+            if len(requests) == 1 and not self.table:
+                self._service_single(requests[0], refresh_sink)
+            else:
+                self._service_fast(requests, refresh_sink)
+            return True
         api = self.api
         costs = api.costs
         self.counters.enter_critical()
@@ -269,6 +380,161 @@ class SoftwareMemoryController(ProgramExecutor):
         self.counters.exit_critical()
         return True
 
+    def _make_service_fast(self):
+        """Build the batched flat-path service loop (constants closed over).
+
+        Observable behavior matches the reference loop above exactly;
+        host-side, arrivals are consumed through an index (requests sort
+        by tag, so the transferable set is always a prefix — the
+        reference's repeated full rescans cannot admit anything more),
+        the scheduler runs its flat-array select, and requests are
+        served by the flat serve function.
+        """
+        from operator import attrgetter
+
+        api = self.api
+        counters = self.counters
+        toggle = self._critical_toggle
+        pp = self._proc_period
+        bus = self._req_bus_ps
+        scheduler = self.scheduler
+        select_flat = getattr(scheduler, "select_flat", None)
+        decision_cost = scheduler.decision_cost
+        open_row = self._flat.open_row
+        banks = self._device.banks
+        tile_stats = self._tile_stats
+        transfer_charge = self._transfer_charge
+        decode = self._decode_cache
+        to_dram = self._mapper.to_dram
+        refresh_enabled = self._refresh_enabled
+        serve = self._serve_flat_core
+        refresh = self._maybe_refresh_flat
+        by_tag = attrgetter("tag")
+
+        make_entry = (lambda request, dram, order: (order, request, dram)) \
+            if select_flat is not None else TableEntry
+
+        def service_fast(requests: list[MemoryRequest],
+                         refresh_sink: Callable[[int], None] | None) -> None:
+            counters.enter_critical()
+            api.charged_cycles += toggle  # set_scheduling_state(True)
+            api.critical = True
+            arrivals = sorted(requests, key=by_tag) \
+                if len(requests) > 1 else requests
+            now = arrivals[0].tag * pp + bus
+            if self.sched_cursor > now:
+                now = self.sched_cursor
+            self.sched_cursor = now
+            table = self.table
+            arrival_counter = self._arrival_counter
+            pos = 0
+            n = len(arrivals)
+            while pos < n or table:
+                cursor = self.sched_cursor
+                while pos < n:
+                    request = arrivals[pos]
+                    arrival_ps = request.tag * pp + bus
+                    if arrival_ps <= cursor or not table:
+                        tile_stats.requests_received += 1
+                        api.charged_cycles += transfer_charge
+                        addr = request.addr
+                        dram = decode.get(addr)
+                        if dram is None:
+                            dram = to_dram(addr)
+                        table.append(make_entry(request, dram,
+                                                arrival_counter))
+                        arrival_counter += 1
+                        if arrival_ps > cursor:
+                            cursor = arrival_ps
+                        pos += 1
+                    else:
+                        break
+                self.sched_cursor = cursor
+                if not table:
+                    next_arrival = arrivals[pos].tag * pp + bus
+                    if next_arrival > cursor:
+                        self.sched_cursor = next_arrival
+                    continue
+                if refresh_enabled and self._next_refresh_ps <= self.sched_cursor:
+                    refresh(refresh_sink)
+                count = len(table)
+                api.charged_cycles += decision_cost(count)
+                if select_flat is not None:
+                    if count == 1:
+                        _order, request, dram = table.pop()
+                    else:
+                        entry = select_flat(table, open_row)
+                        table.remove(entry)
+                        _order, request, dram = entry
+                    serve(request, dram)
+                else:
+                    if count == 1:
+                        entry = table.pop()
+                    else:
+                        entry = scheduler.select(table, banks)
+                        table.remove(entry)
+                    serve(entry.request, entry.dram)
+            self._arrival_counter = arrival_counter
+            api.charged_cycles += toggle  # set_scheduling_state(False)
+            api.critical = False
+            self._sync_mc_counter()
+            counters.exit_critical()
+
+        return service_fast
+
+    def _make_service_single(self):
+        """Build the one-request episode function (constants closed over).
+
+        The dominant episode shape of dependent-load streams (every
+        pointer-chase miss gates the core, so batches are singletons).
+        Exactly the generic loop specialized for ``len(requests) == 1``
+        with an empty table: same charges, cursor updates, and arrival
+        bookkeeping, without the table/scheduler machinery.
+        """
+        api = self.api
+        counters = self.counters
+        tile_stats = self._tile_stats
+        decode = self._decode_cache
+        to_dram = self._mapper.to_dram
+        proc_period = self._proc_period
+        bus = self._req_bus_ps
+        toggle = self._critical_toggle
+        transfer_charge = self._transfer_charge
+        decision_1 = self._decision_cost_1
+        no_refresh_charge = toggle + transfer_charge + decision_1
+        refresh_enabled = self._refresh_enabled
+        serve = self._serve_flat_core
+        refresh = self._maybe_refresh_flat
+
+        def service_single(request: MemoryRequest,
+                           refresh_sink: Callable[[int], None] | None) -> None:
+            counters.enter_critical()
+            api.critical = True
+            now = request.tag * proc_period + bus
+            if self.sched_cursor > now:
+                now = self.sched_cursor
+            self.sched_cursor = now
+            # Transfer (always immediate: the table is empty).
+            tile_stats.requests_received += 1
+            addr = request.addr
+            dram = decode.get(addr)
+            if dram is None:
+                dram = to_dram(addr)
+            self._arrival_counter += 1
+            if refresh_enabled and self._next_refresh_ps <= now:
+                api.charged_cycles += toggle + transfer_charge
+                refresh(refresh_sink)
+                api.charged_cycles += decision_1
+            else:
+                api.charged_cycles += no_refresh_charge
+            serve(request, dram)
+            api.charged_cycles += toggle
+            api.critical = False
+            self._sync_mc_counter()
+            counters.exit_critical()
+
+        return service_single
+
     def _transfer_arrivals_batched(
             self, arrivals: list[MemoryRequest]) -> list[MemoryRequest]:
         """:meth:`_transfer_arrivals` with the API call costs pre-summed."""
@@ -276,9 +542,11 @@ class SoftwareMemoryController(ProgramExecutor):
         costs = api.costs
         transfer_charge = (costs.receive_request + costs.address_map
                            + costs.table_insert)
-        to_dram = self.tile.mapper.to_dram
+        mapper = self._mapper
+        decode_cache = mapper._decode_cache
+        to_dram = mapper.to_dram
         table = self.table
-        tile_stats = self.tile.stats
+        tile_stats = self._tile_stats
         pp = self._proc_period
         bus = self._req_bus_ps
         remaining: list[MemoryRequest] = []
@@ -287,8 +555,12 @@ class SoftwareMemoryController(ProgramExecutor):
             if arrival_ps <= self.sched_cursor or not table:
                 tile_stats.requests_received += 1
                 api.charged_cycles += transfer_charge
+                addr = request.addr
+                dram = decode_cache.get(addr)
+                if dram is None:
+                    dram = to_dram(addr)
                 table.append(TableEntry(
-                    request=request, dram=to_dram(request.addr),
+                    request=request, dram=dram,
                     arrival_order=self._arrival_counter))
                 self._arrival_counter += 1
                 if arrival_ps > self.sched_cursor:
@@ -455,6 +727,205 @@ class SoftwareMemoryController(ProgramExecutor):
                 if self.dram_cursor > self.sched_cursor:
                     self.sched_cursor = self.dram_cursor
 
+    # -- array-native critical-mode servicing (REPRO_FASTPATH) ---------------------
+
+    def _make_serve_flat(self):
+        """Build the flat-path serve function with constants closed over.
+
+        Emulated-timeline arithmetic is identical to
+        :meth:`_serve_batched`; the host work per request drops to: one
+        row-buffer classification on the flat ``open_row`` array, one
+        memoized plan fetch, one flat earliest-time query for the
+        leading command, and one fused device call for the plan — no
+        ``Command`` construction and no per-bank object scans.  Every
+        run-constant (plans, periods, latencies, stable subobjects)
+        lives in a closure cell instead of an attribute lookup.
+        """
+        api = self.api
+        plan_list = self._plan_list
+        mc_period = self._mc_period
+        tile_stats = self._tile_stats
+        stats = self.stats
+        flat = self._flat
+        open_row_arr = flat.open_row
+        flat_earliest = self._flat_earliest
+        issue_plan = self._issue_plan
+        issue_col = self._issue_col
+        bender = self._bender
+        tck = self._tck
+        lat_rd = self._lat_rd_ps
+        lat_wr = self._lat_wr_ps
+        resp_bus = self._resp_bus_ps
+        proc_period = self._proc_period
+        pipelined = self._pipelined
+        occupancy = self._occupancy_ps
+        # Leading-command earliest-time formulas, inlined when the
+        # two-term aggregate reductions are exact for this parameter set
+        # (see FlatTimingState); otherwise the generic query runs.
+        inline_earliest = flat._rrd_two_term and flat._ccd_two_term
+        t = self.config.timing
+        tRCD, tCCD_S, tCCD_L, tWTR = t.tRCD, t.tCCD_S, t.tCCD_L, t.tWTR
+        tRC, tRP, tRRD_S, tRRD_L = t.tRC, t.tRP, t.tRRD_S, t.tRRD_L
+        tRAS, tRTP, tWR, tFAW, tRFC = t.tRAS, t.tRTP, t.tWR, t.tFAW, t.tRFC
+        last_act_arr = flat.last_act
+        last_pre_arr = flat.last_pre
+        last_read_arr = flat.last_read
+        last_write_end_arr = flat.last_write_end
+        gmax_cas_arr = flat.group_max_cas
+        gmax_act_arr = flat.group_max_act
+        group_of = flat.group_of
+
+        def serve(request: MemoryRequest, dram) -> None:
+            bank = dram.bank
+            row = dram.row
+            sched_start = self.sched_cursor
+            # classify_row_access, inlined on the flat open-row array.
+            open_row = open_row_arr[bank]
+            if open_row == row:
+                tile_stats.row_hits += 1
+                case = 0
+            elif open_row < 0:
+                tile_stats.row_misses += 1
+                case = 1
+            else:
+                tile_stats.row_conflicts += 1
+                case = 2
+            is_dram_write = request.is_writeback
+            (kinds, offsets, total_cycles, stage_charge, measured,
+             post_flush_ps) = plan_list[case + case + is_dram_write]
+            sched_cycles = api.charged_cycles + stage_charge
+            api.charged_cycles = 0
+            stats.total_sched_cycles += sched_cycles
+            sched_ps = sched_cycles * mc_period
+            tile_stats.scheduling_ps += sched_ps
+            start = self._exec_anchor_ps = sched_start + sched_ps
+            dram_cursor = self.dram_cursor
+            if dram_cursor > start:
+                start = dram_cursor
+            # Earliest legal time of the leading command (same value as
+            # flat.earliest; negative bounds can never exceed start).
+            if not inline_earliest:
+                earliest = flat_earliest(kinds[0], bank)
+                if earliest > start:
+                    start = earliest
+            elif case == 0:  # RD/WR on the open row
+                e = last_act_arr[bank] + tRCD
+                v = flat.max_cas_all + tCCD_S
+                if v > e:
+                    e = v
+                v = gmax_cas_arr[group_of[bank]] + tCCD_L
+                if v > e:
+                    e = v
+                if not is_dram_write:
+                    v = flat.max_write_end + tWTR
+                    if v > e:
+                        e = v
+                if e > start:
+                    start = e
+            elif case == 2:  # PRE (row conflict)
+                e = last_act_arr[bank] + tRAS
+                v = last_read_arr[bank] + tRTP
+                if v > e:
+                    e = v
+                v = last_write_end_arr[bank] + tWR
+                if v > e:
+                    e = v
+                if e > start:
+                    start = e
+            else:  # ACT (closed bank)
+                e = last_act_arr[bank] + tRC
+                v = last_pre_arr[bank] + tRP
+                if v > e:
+                    e = v
+                v = flat.max_act_all + tRRD_S
+                if v > e:
+                    e = v
+                v = gmax_act_arr[group_of[bank]] + tRRD_L
+                if v > e:
+                    e = v
+                acts = flat.recent_acts
+                n_acts = len(acts)
+                if n_acts >= 4:
+                    v = acts[n_acts - 4] + tFAW
+                    if v > e:
+                        e = v
+                v = flat.last_ref + tRFC
+                if v > e:
+                    e = v
+                if e > start:
+                    start = e
+            if case:
+                issue_plan(kinds, offsets, bank, row, dram.col, start, tck)
+            else:
+                issue_col(kinds[0], bank, dram.col, start)
+            bender.programs_run += 1
+            bender.total_interface_cycles += total_cycles
+            dram_end = self.dram_cursor = start + measured
+            tile_stats.dram_busy_ps += measured
+            stats.batches_executed += 1
+            release_ps = (dram_end + (lat_wr if is_dram_write else lat_rd)
+                          + resp_bus)
+            request.release = -(-release_ps // proc_period)
+            request.service_ps = dram_end - sched_start
+            if is_dram_write:
+                stats.serviced_writes += 1
+            else:
+                stats.serviced_reads += 1
+            # Mirror the reference path's discarded rdback/enqueue charges.
+            api.charged_cycles = 0
+            tile_stats.responses_sent += 1
+            if pipelined:
+                occupied = sched_start + occupancy
+                if occupied > self.sched_cursor:
+                    self.sched_cursor = occupied
+            else:
+                cursor = sched_start + sched_ps + post_flush_ps
+                if dram_end > cursor:
+                    cursor = dram_end
+                self.sched_cursor = cursor
+
+        return serve
+
+    def _maybe_refresh_flat(
+            self, refresh_sink: Callable[[int], None] | None) -> None:
+        """:meth:`_maybe_refresh_batched` on flat state (no Command objects)."""
+        if not self.config.controller.refresh_enabled:
+            return
+        if self._next_refresh_ps > self.sched_cursor:
+            return
+        api = self.api
+        t = self.config.timing
+        device = self.tile.device
+        flat = device.flat
+        bender = self.tile.engine
+        issue = device.issue_fast
+        total_cycles = self._ref_cycles
+        measured = self._ref_measured
+        while self._next_refresh_ps <= self.sched_cursor:
+            api.charged_cycles = 0  # staging + accumulated charges discarded
+            anchor = self.sched_cursor
+            self._exec_anchor_ps = anchor
+            start = anchor if anchor >= self.dram_cursor else self.dram_cursor
+            earliest = flat.earliest(K_PREA, 0)
+            if earliest > start:
+                start = earliest
+            issue(K_PREA, 0, 0, 0, start, True)
+            issue(K_REF, 0, 0, 0, start + self._ref_offset_ps, False)
+            bender.programs_run += 1
+            bender.total_interface_cycles += total_cycles
+            self.dram_cursor = start + measured
+            self.tile.stats.dram_busy_ps += measured
+            self.stats.batches_executed += 1
+            api.charged_cycles = 0  # flush charges discarded
+            self.stats.refreshes += 1
+            self.tile.stats.refreshes_issued += 1
+            if refresh_sink is not None:
+                refresh_sink(self._next_refresh_ps)
+            self._next_refresh_ps += t.tREFI
+            if not self._pipelined:
+                if self.dram_cursor > self.sched_cursor:
+                    self.sched_cursor = self.dram_cursor
+
     # -- refresh -----------------------------------------------------------------
 
     def _maybe_refresh(self) -> None:
@@ -462,7 +933,7 @@ class SoftwareMemoryController(ProgramExecutor):
         if not self.config.controller.refresh_enabled:
             return
         while self._next_refresh_ps <= self.sched_cursor:
-            self.api.refresh_sequence()
+            self.api.stage_refresh()
             self.api.take_charges()
             self._exec_anchor_ps = max(self.sched_cursor, self._next_refresh_ps)
             self.api.flush_commands()

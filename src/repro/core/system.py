@@ -106,6 +106,9 @@ class Session:
                    config.l2.line_bytes, config.l2.hit_latency)
         self.hierarchy = CacheHierarchy(l1, l2, memory_fill_latency=2)
         self.processor = Processor(config.processor, self.hierarchy, trace=())
+        # Bulk-decode each block's DRAM-bound addresses into the
+        # mapper's memo as soon as the cache filter produces them.
+        self.processor.prime_hook = system.mapper.prime
         self.engine = make_engine(engine if engine is not None
                                   else system.engine_name)
         self._pending: list[MemoryRequest] = []

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.core.system import Session
 from repro.dram.address import DramAddress
-from repro.workloads.microbench import cpu_copy_trace, cpu_init_trace
+from repro.workloads.microbench import cpu_copy_blocks, cpu_init_blocks
 
 _TEST_PATTERN_SALT = 0x5EED
 
@@ -235,7 +235,7 @@ class RowCloneTechnique:
             else:
                 self.stats.fallback_rows += 1
                 self.session.run_trace(
-                    cpu_copy_trace(src_phys, dst_phys, g.row_bytes))
+                    cpu_copy_blocks(src_phys, dst_phys, g.row_bytes))
 
     def execute_init(self, plan: InitPlan, clflush: bool = False,
                      include_source_setup: bool = True) -> None:
@@ -246,7 +246,7 @@ class RowCloneTechnique:
             # pattern and push it to DRAM — RowClone copies DRAM contents.
             for (bank, _sub), src_row in plan.source_rows.items():
                 src_phys = self.mapper.row_base_physical(bank, src_row)
-                self.session.run_trace(cpu_init_trace(src_phys, g.row_bytes))
+                self.session.run_trace(cpu_init_blocks(src_phys, g.row_bytes))
                 self.stats.flushed_lines += self.session.clflush_range(
                     src_phys, g.row_bytes)
         for pair in plan.targets:
@@ -257,7 +257,7 @@ class RowCloneTechnique:
                 self._rowclone_op(pair.bank, pair.src_row, pair.dst_row)
             else:
                 self.stats.fallback_rows += 1
-                self.session.run_trace(cpu_init_trace(dst_phys, g.row_bytes))
+                self.session.run_trace(cpu_init_blocks(dst_phys, g.row_bytes))
 
     # -- verification (tests use this) ------------------------------------------------
 

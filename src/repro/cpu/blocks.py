@@ -1,0 +1,114 @@
+"""Array-native access blocks: the workload side of the fast path.
+
+Workloads emit :class:`AccessBlock` chunks — parallel ``addr``/``flags``
+/``gap`` integer arrays covering a few thousand accesses — instead of
+one :class:`~repro.cpu.memtrace.Access` namedtuple at a time.  A block
+crosses the frontend in three bulk steps (generate, cache-filter,
+replay) where the object pipeline paid per-access generator resumption
+and allocation.
+
+A :class:`BlockTrace` is a single-use stream of blocks, exactly like an
+``Iterator[Access]`` is a single-use stream of accesses.  It carries a
+compatibility shim (:meth:`BlockTrace.accesses`) that re-yields the
+identical per-access stream, which is what the processor consumes when
+``REPRO_FASTPATH`` is off and what the legacy workload generators now
+delegate to — block builders are the source of truth, the iterators are
+thin views.
+
+Blocks store plain Python ``list``s of ``int``: the consuming loops are
+CPython ``for`` loops where list indexing beats NumPy scalar access by
+an order of magnitude.  Builders are free to *construct* those lists
+with NumPy (``ndarray.tolist()`` is a bulk operation) — the microbench
+and lmbench builders do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.cpu.memtrace import Access
+from repro.fastpath import block_accesses
+
+
+class AccessBlock:
+    """A chunk of accesses as parallel integer arrays.
+
+    ``addr[i]``/``flags[i]``/``gap[i]`` describe the same access as
+    ``Access(addr, flags, gap)``; flag bits are those of
+    :mod:`repro.cpu.memtrace` (bit 0 write, bit 1 dependent).
+    """
+
+    __slots__ = ("addr", "flags", "gap")
+
+    def __init__(self, addr: list[int], flags: list[int], gap: list[int]) -> None:
+        if not (len(addr) == len(flags) == len(gap)):
+            raise ValueError("addr/flags/gap arrays must have equal length")
+        self.addr = addr
+        self.flags = flags
+        self.gap = gap
+
+    def __len__(self) -> int:
+        return len(self.addr)
+
+    def accesses(self) -> Iterator[Access]:
+        """The identical per-access view of this block."""
+        for item in zip(self.addr, self.flags, self.gap):
+            yield Access(*item)
+
+
+class BlockTrace:
+    """A single-use stream of :class:`AccessBlock` chunks.
+
+    Iterating yields blocks; :meth:`accesses` yields the equivalent
+    per-access stream (the compatibility shim used whenever the fast
+    path is disabled).  Like generator traces, a ``BlockTrace`` can be
+    consumed once.
+    """
+
+    __slots__ = ("_blocks",)
+
+    def __init__(self, blocks: Iterable[AccessBlock]) -> None:
+        self._blocks = iter(blocks)
+
+    def __iter__(self) -> Iterator[AccessBlock]:
+        return self._blocks
+
+    def accesses(self) -> Iterator[Access]:
+        """Per-access compatibility view (consumes the trace)."""
+        for block in self._blocks:
+            yield from block.accesses()
+
+
+def blockify(trace: Iterable[Access], block: int | None = None) -> BlockTrace:
+    """Chunk any per-access trace into an equivalent :class:`BlockTrace`.
+
+    This is the generic adapter for workloads that stay generator-based
+    (e.g. the PolyBench loop nests): the generator still runs, but the
+    cache and processor layers downstream get the batched interface.
+    """
+    size = block or block_accesses()
+
+    def chunks() -> Iterator[AccessBlock]:
+        addr: list[int] = []
+        flags: list[int] = []
+        gap: list[int] = []
+        append_a, append_f, append_g = addr.append, flags.append, gap.append
+        for access in trace:
+            append_a(access[0])
+            append_f(access[1])
+            append_g(access[2])
+            if len(addr) >= size:
+                yield AccessBlock(addr, flags, gap)
+                addr, flags, gap = [], [], []
+                append_a, append_f, append_g = (addr.append, flags.append,
+                                                gap.append)
+        if addr:
+            yield AccessBlock(addr, flags, gap)
+
+    return BlockTrace(chunks())
+
+
+def from_builder(builder: Callable[[int], Iterator[AccessBlock]],
+                 block: int | None = None) -> BlockTrace:
+    """Wrap a block-size-parameterized builder into a :class:`BlockTrace`."""
+    return BlockTrace(builder(block or block_accesses()))

@@ -25,13 +25,20 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.cpu.cache import CacheHierarchy
+from repro.cpu.blocks import AccessBlock, BlockTrace
+from repro.cpu.cache import BlockTraffic, CacheHierarchy
 from repro.cpu.memtrace import FLAG_DEPENDENT, FLAG_WRITE, Access, Trace
+from repro.fastpath import fastpath_enabled
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class MemoryRequest:
-    """A DRAM-bound request emitted by the processor (or a writeback)."""
+    """A DRAM-bound request emitted by the processor (or a writeback).
+
+    Identity semantics (``eq=False``): a request is one in-flight object
+    shared between processor and controller, never compared by value —
+    and list removal then uses C-speed identity scans.
+    """
 
     rid: int
     addr: int
@@ -48,7 +55,7 @@ class MemoryRequest:
         return f"<{kind}#{self.rid} {self.addr:#x} tag={self.tag} rel={self.release}>"
 
 
-@dataclass
+@dataclass(slots=True)
 class BurstResult:
     """What one ``execute_burst`` call produced."""
 
@@ -108,6 +115,17 @@ class Processor:
         self._rid = itertools.count()
         self._pending: Access | None = None
         self._done = False
+        self._fastpath = fastpath_enabled()
+        #: Optional bulk address-decode hook (wired by the session to
+        #: the tile's :meth:`AddressMapper.prime`): called with each
+        #: block's DRAM-bound addresses right after the cache filter.
+        self.prime_hook = None
+        # Block-mode state: the block stream, the current block with its
+        # precomputed cache traffic, and replay cursors into it.
+        self._blocks: Iterator[AccessBlock] | None = None
+        self._cur: tuple[AccessBlock, BlockTraffic] | None = None
+        self._pos = 0
+        self._wb_ptr = 0
 
     # -- engine-facing API ------------------------------------------------------
 
@@ -115,14 +133,34 @@ class Processor:
     def done(self) -> bool:
         return self._done
 
-    def feed(self, trace: Trace) -> None:
-        """Queue another trace segment (sessions mix traces and techniques)."""
-        self._trace = iter(trace)
+    def feed(self, trace: Trace | BlockTrace) -> None:
+        """Queue another trace segment (sessions mix traces and techniques).
+
+        A :class:`~repro.cpu.blocks.BlockTrace` takes the array-native
+        replay path (cache traffic precomputed one block at a time);
+        with ``REPRO_FASTPATH`` off it is consumed through its
+        per-access compatibility shim instead.  Both paths produce the
+        same requests, cycles, and statistics.
+        """
         self._pending = None
         self._done = False
+        self._blocks = None
+        self._cur = None
+        self._pos = 0
+        self._wb_ptr = 0
+        if isinstance(trace, BlockTrace):
+            if self._fastpath:
+                self._trace = iter(())
+                self._blocks = iter(trace)
+            else:
+                self._trace = trace.accesses()
+        else:
+            self._trace = iter(trace)
 
     def execute_burst(self) -> BurstResult:
         """Run until blocked on an unserviced miss or the trace ends."""
+        if self._blocks is not None:
+            return self._execute_burst_blocks()
         new_requests: list[MemoryRequest] = []
         while True:
             if self._pending is None:
@@ -139,6 +177,190 @@ class Processor:
                 continue
             self._pending = None
             self._execute(access, new_requests)
+
+    @property
+    def in_block_mode(self) -> bool:
+        """Whether the current trace segment replays as access blocks."""
+        return self._blocks is not None
+
+    def execute_gated(self, gate) -> None:
+        """Run a block trace to completion, servicing gates in place.
+
+        The skip-ahead engine's inverted control flow: instead of
+        returning a blocked :class:`BurstResult` at every clock gate and
+        being re-entered after servicing, the replay loop calls
+        ``gate(new_requests, done)`` at exactly the points the burst
+        protocol would return — the callback runs the per-gate sequence
+        (counter advance, deadlock check, critical-mode episode, event
+        bookkeeping) and must leave every request released.  Equivalent
+        to the execute_burst loop with the per-gate re-entry cost
+        removed.  Only valid in block mode.
+        """
+        self._execute_burst_blocks(gate)
+
+    def _execute_burst_blocks(self, gate=None) -> BurstResult | None:
+        """:meth:`execute_burst` over precomputed access blocks.
+
+        The cache outcomes of a whole block are computed up front
+        (:meth:`CacheHierarchy.access_block` — legal because cache state
+        depends only on the access stream, never on request servicing)
+        and replayed here under the same MLP/window/dependence gating as
+        the per-access path, with the hot state in locals.  With a
+        ``gate`` callback the loop services in place instead of
+        returning (see :meth:`execute_gated`).
+        """
+        new_requests: list[MemoryRequest] = []
+        out = self.outstanding
+        config = self.config
+        mlp = config.mlp
+        window = config.miss_window
+        stats = self.stats
+        rid = self._rid
+        # Hot counters hoisted into locals for the replay loop; every
+        # exit path below writes them back through _sync_block_counters.
+        cycles = self.cycles
+        accesses = stats.accesses
+        loads = stats.loads
+        stores = stats.stores
+        compute = stats.compute_cycles
+        stalls = stats.stall_cycles
+        latencies = stats.request_latencies
+        while True:
+            cur = self._cur
+            if cur is None:
+                block = next(self._blocks, None)
+                if block is None:
+                    self._sync_block_counters(
+                        cycles, accesses, loads, stores, compute, stalls)
+                    if self._drain():
+                        self._done = True
+                        if gate is None:
+                            return BurstResult(new_requests, blocked=False,
+                                               done=True)
+                        gate(new_requests, True)
+                        return None
+                    if gate is None:
+                        return BurstResult(new_requests, blocked=True,
+                                           done=False)
+                    gate(new_requests, False)
+                    new_requests = []
+                    # _drain observed unserviced fills, so it mutated
+                    # nothing — the hoisted counters stay authoritative.
+                    continue
+                traffic = self.hierarchy.access_block(block.addr, block.flags)
+                hook = self.prime_hook
+                if hook is not None and (traffic.n_fills or traffic.wb_addr):
+                    hook(traffic.fill_addr, traffic.wb_addr)
+                cur = self._cur = (block, traffic)
+                self._pos = 0
+                self._wb_ptr = 0
+            block, traffic = cur
+            flags = block.flags
+            gaps = block.gap
+            lat = traffic.latency
+            fills = traffic.fill_addr
+            wb_idx = traffic.wb_index
+            wb_addrs = traffic.wb_addr
+            n = len(flags)
+            n_wb = len(wb_idx)
+            i = self._pos
+            wb_ptr = self._wb_ptr
+            while i < n:
+                flag = flags[i]
+                if out:
+                    # _can_issue, inlined.
+                    if (flag & FLAG_DEPENDENT or len(out) >= mlp
+                            or accesses - out[0].issue_index >= window):
+                        # _consume_ready / _consume, inlined.
+                        if flag & FLAG_DEPENDENT:
+                            blocked = False
+                            for request in out:
+                                if request.release is None:
+                                    blocked = True
+                                    break
+                            if blocked:
+                                self._pos = i
+                                self._wb_ptr = wb_ptr
+                                self._sync_block_counters(
+                                    cycles, accesses, loads, stores, compute,
+                                    stalls)
+                                if gate is None:
+                                    return BurstResult(new_requests,
+                                                       blocked=True,
+                                                       done=False)
+                                gate(new_requests, False)
+                                new_requests = []
+                                continue
+                            for request in out:
+                                release = request.release
+                                if release > cycles:
+                                    stalls += release - cycles
+                                    cycles = release
+                                delta = release - request.tag
+                                latencies.append(delta if delta > 0 else 0)
+                            out.clear()
+                        else:
+                            oldest = out[0]
+                            release = oldest.release
+                            if release is None:
+                                self._pos = i
+                                self._wb_ptr = wb_ptr
+                                self._sync_block_counters(
+                                    cycles, accesses, loads, stores, compute,
+                                    stalls)
+                                if gate is None:
+                                    return BurstResult(new_requests,
+                                                       blocked=True,
+                                                       done=False)
+                                gate(new_requests, False)
+                                new_requests = []
+                                continue
+                            if release > cycles:
+                                stalls += release - cycles
+                                cycles = release
+                            delta = release - oldest.tag
+                            latencies.append(delta if delta > 0 else 0)
+                            out.pop(0)
+                        continue
+                # _execute, inlined.
+                accesses += 1
+                if flag & FLAG_WRITE:
+                    stores += 1
+                else:
+                    loads += 1
+                gap = gaps[i]
+                if gap:
+                    cycles += gap
+                    compute += gap
+                cycles += lat[i]
+                while wb_ptr < n_wb and wb_idx[wb_ptr] == i:
+                    stats.writeback_requests += 1
+                    new_requests.append(MemoryRequest(
+                        rid=next(rid), addr=wb_addrs[wb_ptr], is_write=True,
+                        tag=cycles, is_writeback=True, issue_index=accesses))
+                    wb_ptr += 1
+                fill = fills[i]
+                if fill >= 0:
+                    stats.llc_miss_requests += 1
+                    request = MemoryRequest(
+                        rid=next(rid), addr=fill,
+                        is_write=bool(flag & FLAG_WRITE), tag=cycles,
+                        issue_index=accesses)
+                    out.append(request)
+                    new_requests.append(request)
+                i += 1
+            self._cur = None
+
+    def _sync_block_counters(self, cycles: int, accesses: int, loads: int,
+                             stores: int, compute: int, stalls: int) -> None:
+        """Write the block-replay loop's hoisted counters back."""
+        self.cycles = cycles
+        stats = self.stats
+        stats.accesses = accesses
+        stats.loads = loads
+        stats.stores = stores
+        stats.compute_cycles = compute
+        stats.stall_cycles = stalls
 
     def deliver(self, request: MemoryRequest) -> None:
         """The memory side finished ``request``; its release must be set."""

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class Geometry:
@@ -80,7 +82,7 @@ class Geometry:
         return row // self.subarray_rows
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DramAddress:
     """A fully decoded DRAM coordinate (single channel / rank modeled)."""
 
@@ -112,28 +114,37 @@ class AddressMapper:
         # (pointer chases loop, kernels stream repeatedly), the decode is
         # pure, and DramAddress is frozen — so sharing instances is safe.
         self._decode_cache: dict[int, DramAddress] = {}
+        # Geometry scalars hoisted out of the property chain: decode
+        # misses are a hot path when a workload first touches its
+        # footprint.
+        self._total_bytes = geometry.total_bytes
+        self._line_bytes = geometry.line_bytes
+        self._columns = geometry.columns_per_row
+        self._num_banks = geometry.num_banks
+        self._rows = geometry.rows_per_bank
+        self._row_major = scheme in ("row-bank-col", "row-bank-col-skew")
+        self._skewed = scheme == "row-bank-col-skew"
 
     def to_dram(self, phys_addr: int) -> DramAddress:
         """Decode a physical byte address into a DRAM coordinate."""
         cached = self._decode_cache.get(phys_addr)
         if cached is not None:
             return cached
-        g = self.geometry
         if phys_addr < 0:
             raise ValueError(f"negative physical address {phys_addr:#x}")
-        line = (phys_addr % g.total_bytes) // g.line_bytes
-        if self.scheme in ("row-bank-col", "row-bank-col-skew"):
-            col = line % g.columns_per_row
-            block = line // g.columns_per_row
-            bank = block % g.num_banks
-            row = (block // g.num_banks) % g.rows_per_bank
-            if self.scheme == "row-bank-col-skew":
-                bank = (bank + self._skew(row)) % g.num_banks
+        line = (phys_addr % self._total_bytes) // self._line_bytes
+        if self._row_major:
+            col = line % self._columns
+            block = line // self._columns
+            bank = block % self._num_banks
+            row = (block // self._num_banks) % self._rows
+            if self._skewed:
+                bank = (bank + self._skew(row)) % self._num_banks
         else:  # bank-interleaved
-            bank = line % g.num_banks
-            line //= g.num_banks
-            col = line % g.columns_per_row
-            row = (line // g.columns_per_row) % g.rows_per_bank
+            bank = line % self._num_banks
+            line //= self._num_banks
+            col = line % self._columns
+            row = (line // self._columns) % self._rows
         decoded = DramAddress(bank=bank, row=row, col=col)
         self._decode_cache[phys_addr] = decoded
         return decoded
@@ -142,6 +153,38 @@ class AddressMapper:
     def _skew(row: int) -> int:
         """Row-dependent bank skew (folds the row bits down)."""
         return row ^ (row >> 4) ^ (row >> 8)
+
+    def prime(self, *addr_lists: list[int]) -> None:
+        """Bulk-decode byte addresses into the memo (vectorized).
+
+        The block frontend knows every DRAM-bound address of a block the
+        moment the cache filter returns, so the decode math runs once
+        over a NumPy array instead of per request; negative entries
+        (the block path's "no fill" sentinel) are skipped.  Decoded
+        values are exactly :meth:`to_dram`'s.
+        """
+        cache = self._decode_cache
+        missing = [a for addrs in addr_lists for a in addrs
+                   if a >= 0 and a not in cache]
+        if not missing:
+            return
+        arr = np.asarray(missing, dtype=np.int64)
+        line = (arr % self._total_bytes) // self._line_bytes
+        if self._row_major:
+            col = line % self._columns
+            block = line // self._columns
+            bank = block % self._num_banks
+            row = (block // self._num_banks) % self._rows
+            if self._skewed:
+                bank = (bank + (row ^ (row >> 4) ^ (row >> 8))) % self._num_banks
+        else:  # bank-interleaved
+            bank = line % self._num_banks
+            line //= self._num_banks
+            col = line % self._columns
+            row = (line // self._columns) % self._rows
+        for a, b, r, c in zip(missing, bank.tolist(), row.tolist(),
+                              col.tolist()):
+            cache[a] = DramAddress(b, r, c)
 
     def to_physical(self, addr: DramAddress) -> int:
         """Encode a DRAM coordinate back into a physical byte address."""

@@ -26,8 +26,23 @@ from repro.dram.address import Geometry
 from repro.dram.bank import BankState, RankState
 from repro.dram.cells import CellArrayModel
 from repro.dram.commands import Command, CommandKind
+from repro.dram.flat_timing import (
+    K_ACT,
+    K_PRE,
+    K_PREA,
+    K_RD,
+    K_REF,
+    K_WR,
+    KIND_NAMES,
+    FlatTimingState,
+)
 from repro.dram.timing import TimingParams
 from repro.dram.timing_checker import TimingChecker
+
+#: Flat kind code -> CommandKind (for the rare fallback that needs a
+#: real Command object, e.g. recording a timing violation).
+_KIND_OF_CODE = (CommandKind.ACT, CommandKind.PRE, CommandKind.PREA,
+                 CommandKind.RD, CommandKind.WR, CommandKind.REF)
 
 
 @dataclass
@@ -78,6 +93,21 @@ class DramDevice:
         self.cells = cells or CellArrayModel(geometry)
         self.banks = [BankState(i) for i in range(geometry.num_banks)]
         self.rank = RankState()
+        #: Array-native twin of the bank/rank state, updated on every
+        #: command; the fast issue path answers timing queries from it.
+        self.flat = FlatTimingState(timing, geometry)
+        # The cell model's per-row minimum-tRCD memo, hoisted so the
+        # fast issue path can answer reliability checks with one dict get.
+        self._trcd_cache = self.cells._row_trcd_cache
+        self._rowclone_gap_ps = int(timing.tRP * self.ROWCLONE_PRE_TO_ACT_FRACTION)
+        self._write_burst_ps = timing.tCWL + timing.tBL
+        # Non-leading plan commands check their legality inline against
+        # the flat aggregates when the two-term reductions are exact.
+        self._inline_earliest = (self.flat._rrd_two_term
+                                 and self.flat._ccd_two_term)
+        self._tp = (timing.tRCD, timing.tCCD_S, timing.tCCD_L, timing.tWTR,
+                    timing.tRC, timing.tRP, timing.tRRD_S, timing.tRRD_L,
+                    timing.tFAW, timing.tRFC)
         self.checker = TimingChecker(timing, geometry, strict=strict_timing)
         self.retention_modeling = retention_modeling
         self.stats = DeviceStats()
@@ -140,6 +170,7 @@ class DramDevice:
                     f"RD to bank {cmd.bank} with no open row at {time_ps} ps")
             row = bank.open_row
             bank.read(time_ps)
+            self.flat.read(cmd.bank, time_ps)
             trcd_used = time_ps - bank.last_act
             if not self.cells.read_is_reliable(cmd.bank, row, trcd_used):
                 self.stats.unreliable_reads += 1
@@ -162,10 +193,304 @@ class DramDevice:
                 # anything if a technique already materialized this row.
                 self._write_line(cmd.bank, row, cmd.col,
                                  self.default_line(cmd.bank, row, cmd.col))
-            bank.write(time_ps, time_ps + self.timing.tCWL + self.timing.tBL)
+            data_end = time_ps + self.timing.tCWL + self.timing.tBL
+            bank.write(time_ps, data_end)
+            self.flat.write(cmd.bank, time_ps, data_end)
             return None
         self._handlers[kind](cmd, time_ps)
         return None
+
+    def issue_fast(self, kind: int, bank_index: int, row: int, col: int,
+                   time_ps: int, precleared: bool) -> None:
+        """:meth:`issue_discard` for a flat-coded command (no objects).
+
+        ``kind`` is a :mod:`repro.dram.flat_timing` code; timing
+        legality is answered by :meth:`FlatTimingState.earliest` (which
+        computes exactly what the object checker computes), and the rare
+        violating command falls back to the object checker so the
+        violation record / strict-mode exception is bit-identical.
+        Every observable side effect matches :meth:`issue_discard`:
+        monotonicity, statistics, bank+rank state (object and flat views
+        both), RowClone detection, reliability and retention modeling.
+        """
+        if time_ps < self._last_issue_ps:
+            raise ValueError(
+                f"command stream went backwards: {time_ps} < {self._last_issue_ps}")
+        self._last_issue_ps = time_ps
+        flat = self.flat
+        if not precleared and time_ps < flat.earliest(kind, bank_index):
+            # Bit-identical violation handling (record or strict raise).
+            ck = _KIND_OF_CODE[kind]
+            self.checker.check(Command(ck, bank=bank_index, row=row, col=col),
+                               time_ps, self.banks, self.rank)
+        commands = self.stats.commands
+        name = KIND_NAMES[kind]
+        commands[name] = commands.get(name, 0) + 1
+        if kind == K_RD:
+            open_row = flat.open_row[bank_index]
+            if open_row < 0:
+                raise RuntimeError(
+                    f"RD to bank {bank_index} with no open row at {time_ps} ps")
+            bank = self.banks[bank_index]
+            trcd_used = time_ps - bank.last_act
+            bank.read(time_ps)
+            flat.read(bank_index, time_ps)
+            min_trcd = self._trcd_cache.get((bank_index, open_row))
+            if min_trcd is None:
+                min_trcd = self.cells.row_min_trcd_ps(bank_index, open_row)
+            if trcd_used < min_trcd:
+                self.stats.unreliable_reads += 1
+            elif self.retention_modeling and self._retention_lapsed(time_ps):
+                if self._row_is_leaky(bank_index, open_row):
+                    self.stats.retention_failures += 1
+        elif kind == K_WR:
+            open_row = flat.open_row[bank_index]
+            if open_row < 0:
+                raise RuntimeError(
+                    f"WR to bank {bank_index} with no open row at {time_ps} ps")
+            if (bank_index, open_row) in self._rows:
+                self._write_line(bank_index, open_row, col,
+                                 self.default_line(bank_index, open_row, col))
+            data_end = time_ps + self.timing.tCWL + self.timing.tBL
+            self.banks[bank_index].write(time_ps, data_end)
+            flat.write(bank_index, time_ps, data_end)
+        elif kind == K_ACT:
+            bank = self.banks[bank_index]
+            self._maybe_rowclone(bank, row, time_ps)
+            bank.activate(row, time_ps)
+            self.rank.record_act(time_ps, self.timing.tFAW)
+            flat.act(bank_index, row, time_ps)
+        elif kind == K_PRE:
+            self.banks[bank_index].precharge(time_ps)
+            flat.pre(bank_index, time_ps)
+        elif kind == K_PREA:
+            for bank in self.banks:
+                bank.precharge(time_ps)
+            flat.prea(time_ps)
+        elif kind == K_REF:
+            self.rank.last_ref = time_ps
+            self.rank.refresh_epoch_ps = time_ps
+            flat.ref(time_ps)
+        else:
+            raise ValueError(f"unknown flat command kind {kind}")
+
+    def issue_col(self, kind: int, bank_index: int, col: int,
+                  time_ps: int) -> None:
+        """Issue one precleared column command (the row-hit plan body).
+
+        :meth:`issue_plan` specialized for the single-command case —
+        no loop, no offset math.  ``kind`` is :data:`K_RD` or
+        :data:`K_WR`.
+        """
+        if time_ps < self._last_issue_ps:
+            raise ValueError(
+                f"command stream went backwards: {time_ps} <"
+                f" {self._last_issue_ps}")
+        self._last_issue_ps = time_ps
+        flat = self.flat
+        open_row = flat.open_row[bank_index]
+        commands = self.stats.commands
+        group = flat.group_of[bank_index]
+        bank = self.banks[bank_index]
+        if kind == K_RD:
+            if open_row < 0:
+                raise RuntimeError(
+                    f"RD to bank {bank_index} with no open row at"
+                    f" {time_ps} ps")
+            commands["RD"] = commands.get("RD", 0) + 1
+            trcd_used = time_ps - bank.last_act
+            bank.last_read = time_ps
+            flat.last_read[bank_index] = time_ps
+            if time_ps > flat.group_max_cas[group]:
+                flat.group_max_cas[group] = time_ps
+            if time_ps > flat.max_cas_all:
+                flat.max_cas_all = time_ps
+            min_trcd = self._trcd_cache.get((bank_index, open_row))
+            if min_trcd is None:
+                min_trcd = self.cells.row_min_trcd_ps(bank_index, open_row)
+            if trcd_used < min_trcd:
+                self.stats.unreliable_reads += 1
+            elif self.retention_modeling and self._retention_lapsed(time_ps):
+                if self._row_is_leaky(bank_index, open_row):
+                    self.stats.retention_failures += 1
+        else:
+            if open_row < 0:
+                raise RuntimeError(
+                    f"WR to bank {bank_index} with no open row at"
+                    f" {time_ps} ps")
+            commands["WR"] = commands.get("WR", 0) + 1
+            if (bank_index, open_row) in self._rows:
+                self._write_line(bank_index, open_row, col,
+                                 self.default_line(bank_index, open_row, col))
+            data_end = time_ps + self._write_burst_ps
+            bank.last_write = time_ps
+            bank.last_write_data_end = data_end
+            flat.last_write[bank_index] = time_ps
+            if time_ps > flat.group_max_cas[group]:
+                flat.group_max_cas[group] = time_ps
+            if time_ps > flat.max_cas_all:
+                flat.max_cas_all = time_ps
+            flat.last_write_end[bank_index] = data_end
+            if data_end > flat.max_write_end:
+                flat.max_write_end = data_end
+
+    def issue_plan(self, kinds: tuple[int, ...], offsets: tuple[int, ...],
+                   bank_index: int, row: int, col: int, start_ps: int,
+                   tck: int) -> None:
+        """Issue a memoized conventional plan in one fused pass.
+
+        Equivalent to calling :meth:`issue_fast` per planned command —
+        ``kinds[0]`` precleared at ``start_ps``, the rest at
+        ``start_ps + offsets[i] * tck`` with flat timing checks — but
+        with the per-command state updates inlined over local views of
+        the flat arrays and the single target :class:`BankState`.
+        Conventional plans only contain PRE/ACT/RD/WR.
+        """
+        if start_ps < self._last_issue_ps:
+            raise ValueError(
+                f"command stream went backwards: {start_ps} <"
+                f" {self._last_issue_ps}")
+        flat = self.flat
+        bank = self.banks[bank_index]
+        commands = self.stats.commands
+        get = commands.get
+        group = flat.group_of[bank_index]
+        inline = self._inline_earliest
+        (tRCD, tCCD_S, tCCD_L, tWTR, tRC, tRP,
+         tRRD_S, tRRD_L, tFAW, tRFC) = self._tp
+        t = start_ps
+        first = True
+        for i, kind in enumerate(kinds):
+            t = start_ps + offsets[i] * tck
+            if not first:
+                # Legality of a non-leading command: the inline branch
+                # computes exactly flat.earliest for RD/WR/ACT (the only
+                # kinds that follow another command in a plan).
+                if inline:
+                    if kind == K_ACT:
+                        e = flat.last_act[bank_index] + tRC
+                        v = flat.last_pre[bank_index] + tRP
+                        if v > e:
+                            e = v
+                        v = flat.max_act_all + tRRD_S
+                        if v > e:
+                            e = v
+                        v = flat.group_max_act[group] + tRRD_L
+                        if v > e:
+                            e = v
+                        acts = flat.recent_acts
+                        n_acts = len(acts)
+                        if n_acts >= 4:
+                            v = acts[n_acts - 4] + tFAW
+                            if v > e:
+                                e = v
+                        v = flat.last_ref + tRFC
+                        if v > e:
+                            e = v
+                    else:  # K_RD / K_WR
+                        e = flat.last_act[bank_index] + tRCD
+                        v = flat.max_cas_all + tCCD_S
+                        if v > e:
+                            e = v
+                        v = flat.group_max_cas[group] + tCCD_L
+                        if v > e:
+                            e = v
+                        if kind == K_RD:
+                            v = flat.max_write_end + tWTR
+                            if v > e:
+                                e = v
+                else:
+                    e = flat.earliest(kind, bank_index)
+                if t < e:
+                    ck = _KIND_OF_CODE[kind]
+                    self.checker.check(
+                        Command(ck, bank=bank_index, row=row, col=col),
+                        t, self.banks, self.rank)
+            first = False
+            name = KIND_NAMES[kind]
+            commands[name] = get(name, 0) + 1
+            if kind == K_RD:
+                open_row = flat.open_row[bank_index]
+                if open_row < 0:
+                    raise RuntimeError(
+                        f"RD to bank {bank_index} with no open row at {t} ps")
+                trcd_used = t - bank.last_act
+                bank.last_read = t                      # bank.read(t)
+                flat.last_read[bank_index] = t          # flat.read(...)
+                if t > flat.group_max_cas[group]:
+                    flat.group_max_cas[group] = t
+                if t > flat.max_cas_all:
+                    flat.max_cas_all = t
+                min_trcd = self._trcd_cache.get((bank_index, open_row))
+                if min_trcd is None:
+                    min_trcd = self.cells.row_min_trcd_ps(bank_index, open_row)
+                if trcd_used < min_trcd:
+                    self.stats.unreliable_reads += 1
+                elif self.retention_modeling and self._retention_lapsed(t):
+                    if self._row_is_leaky(bank_index, open_row):
+                        self.stats.retention_failures += 1
+            elif kind == K_ACT:
+                prev = flat.prev_open_row[bank_index]
+                if (prev >= 0 and prev != row
+                        and t - flat.last_pre[bank_index]
+                        < self._rowclone_gap_ps):
+                    self._maybe_rowclone(bank, row, t)
+                bank.open_row = row                     # bank.activate(row, t)
+                bank.last_act = t
+                bank.act_count += 1
+                cutoff = t - self.timing.tFAW
+                # rank.record_act, in place: timestamps are monotonic,
+                # so the window filter is a drop-from-front (same list
+                # contents as the reference's rebuild).
+                rank_acts = self.rank.recent_acts
+                rank_acts.append(t)
+                while rank_acts[0] <= cutoff:
+                    rank_acts.pop(0)
+                flat.last_act[bank_index] = t           # flat.act(...)
+                if t > flat.group_max_act[group]:
+                    flat.group_max_act[group] = t
+                if t > flat.max_act_all:
+                    flat.max_act_all = t
+                if flat.open_row[bank_index] < 0:
+                    flat.open_count += 1
+                flat.open_row[bank_index] = row
+                acts = flat.recent_acts
+                acts.append(t)
+                while acts[0] <= cutoff:
+                    acts.popleft()
+            elif kind == K_PRE:
+                open_row = flat.open_row[bank_index]
+                bank.previously_open_row = bank.open_row  # bank.precharge(t)
+                bank.open_row = None
+                bank.last_pre = t
+                flat.prev_open_row[bank_index] = open_row  # flat.pre(...)
+                if open_row >= 0:
+                    flat.open_count -= 1
+                    flat.open_row[bank_index] = -1
+                flat.last_pre[bank_index] = t
+                if t > flat.max_pre:
+                    flat.max_pre = t
+            else:  # K_WR
+                open_row = flat.open_row[bank_index]
+                if open_row < 0:
+                    raise RuntimeError(
+                        f"WR to bank {bank_index} with no open row at {t} ps")
+                if (bank_index, open_row) in self._rows:
+                    self._write_line(bank_index, open_row, col,
+                                     self.default_line(bank_index, open_row,
+                                                       col))
+                data_end = t + self._write_burst_ps
+                bank.last_write = t                 # bank.write(t, data_end)
+                bank.last_write_data_end = data_end
+                flat.last_write[bank_index] = t     # flat.write(...)
+                if t > flat.group_max_cas[group]:
+                    flat.group_max_cas[group] = t
+                if t > flat.max_cas_all:
+                    flat.max_cas_all = t
+                flat.last_write_end[bank_index] = data_end
+                if data_end > flat.max_write_end:
+                    flat.max_write_end = data_end
+        self._last_issue_ps = t
 
     def _do_act(self, cmd: Command, t: int) -> None:
         """ACT: open a row (detecting the RowClone ACT-PRE-ACT pattern)."""
@@ -173,17 +498,20 @@ class DramDevice:
         self._maybe_rowclone(bank, cmd.row, t)
         bank.activate(cmd.row, t)
         self.rank.record_act(t, self.timing.tFAW)
+        self.flat.act(cmd.bank, cmd.row, t)
         return None
 
     def _do_pre(self, cmd: Command, t: int) -> None:
         """PRE: close the addressed bank's open row."""
         self.banks[cmd.bank].precharge(t)
+        self.flat.pre(cmd.bank, t)
         return None
 
     def _do_prea(self, cmd: Command, t: int) -> None:
         """PREA: close every bank's open row."""
         for bank in self.banks:
             bank.precharge(t)
+        self.flat.prea(t)
         return None
 
     def _do_rd(self, cmd: Command, t: int) -> ReadResult:
@@ -194,6 +522,7 @@ class DramDevice:
                 f"RD to bank {cmd.bank} with no open row at {t} ps")
         row = bank.open_row
         bank.read(t)
+        self.flat.read(cmd.bank, t)
         line = self._read_line(cmd.bank, row, cmd.col)
         reliable = True
         trcd_used = t - bank.last_act
@@ -220,13 +549,16 @@ class DramDevice:
         if data is None:
             data = self.default_line(cmd.bank, row, cmd.col)
         self._write_line(cmd.bank, row, cmd.col, data)
-        bank.write(t, t + self.timing.tCWL + self.timing.tBL)
+        data_end = t + self.timing.tCWL + self.timing.tBL
+        bank.write(t, data_end)
+        self.flat.write(cmd.bank, t, data_end)
         return None
 
     def _do_ref(self, cmd: Command, t: int) -> None:
         """REF: refresh the rank, resetting the retention epoch."""
         self.rank.last_ref = t
         self.rank.refresh_epoch_ps = t
+        self.flat.ref(t)
         return None
 
     def _do_nop(self, cmd: Command, t: int) -> None:
@@ -333,4 +665,5 @@ class DramDevice:
         for bank in self.banks:
             bank.reset()
         self.rank = RankState()
+        self.flat.reset()
         self._last_issue_ps = -1

@@ -144,8 +144,12 @@ class TimingChecker:
             return 0
         if self.strict:
             raise TimingViolation(cmd, time_ps, earliest, constraint)
-        self.violations.append(
-            ViolationRecord(cmd, time_ps, earliest, constraint))
+        # Snapshot the command: pooled conventional programs reuse and
+        # re-patch their Command objects in place, and a record must
+        # describe the command as it was at violation time.
+        self.violations.append(ViolationRecord(
+            Command(cmd.kind, cmd.bank, cmd.row, cmd.col, cmd.data),
+            time_ps, earliest, constraint))
         return earliest - time_ps
 
     # -- batched per-bank queries (event-engine fast path) -----------------

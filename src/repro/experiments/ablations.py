@@ -27,7 +27,7 @@ from repro.cpu.memtrace import load
 from repro.cpu.processor import ProcessorConfig
 from repro.profiling.characterize import oracle_characterize
 from repro.runner import SweepPoint, SweepSpec, register
-from repro.workloads.microbench import cpu_copy_trace
+from repro.workloads.microbench import cpu_copy_blocks
 
 
 def _locality_trace(system, rows: int = 8, lines_per_row: int = 48):
@@ -67,7 +67,7 @@ def mlp_sweep(mlps: tuple[int, ...] = (1, 2, 4, 8, 16),
             name=f"mlp{mlp}", emulated_freq_hz=1.43e9, fpga_freq_hz=100e6,
             mlp=mlp, miss_window=max(8, 6 * mlp)))
         system = EasyDRAMSystem(config)
-        result = system.run(cpu_copy_trace(0, 1 << 26, size), f"mlp-{mlp}")
+        result = system.run(cpu_copy_blocks(0, 1 << 26, size), f"mlp-{mlp}")
         times.append(result.emulated_ps)
         rows.append((mlp, result.emulated_ps / 1e6,
                      round(times[0] / result.emulated_ps, 2)))

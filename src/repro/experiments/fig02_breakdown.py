@@ -27,7 +27,7 @@ from repro.core.config import (
 from repro.core.easyapi import CostModel
 from repro.core.system import EasyDRAMSystem
 from repro.runner import SweepPoint, SweepSpec, register
-from repro.workloads.lmbench import pointer_chase
+from repro.workloads.lmbench import pointer_chase_blocks
 
 _RTL_COSTS = CostModel(
     poll=0, receive_request=1, enqueue_response=1, address_map=0,
@@ -52,7 +52,7 @@ def _measure(name: str, accesses: int, working_set: int):
         (config, costs) for n, config, costs in _configs() if n == name)
     system = EasyDRAMSystem(config, costs=costs)
     result = system.run(
-        pointer_chase(working_set, accesses), "fig02-chase")
+        pointer_chase_blocks(working_set, accesses), "fig02-chase")
     total_ms = result.emulated_ps / 1e9
     b = result.breakdown
     per_req_ns = (result.avg_request_latency_cycles

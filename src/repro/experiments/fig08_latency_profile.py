@@ -47,10 +47,10 @@ def sweep_point(config: str, size_kib: int, max_accesses: int) -> dict:
     accesses = lmbench.accesses_for(size, max_accesses=max_accesses)
     system = EasyDRAMSystem(factory())
     session = system.session(f"lat-{size_kib}KiB")
-    session.run_trace(microbench.touch_trace(0, size))
+    session.run_trace(microbench.touch_blocks(0, size))
     before_cycles = session.processor.cycles
     before_accesses = session.processor.stats.accesses
-    session.run_trace(lmbench.pointer_chase(size, accesses, base_addr=0))
+    session.run_trace(lmbench.pointer_chase_blocks(size, accesses, base_addr=0))
     result = session.finish()
     cycles = result.cycles - before_cycles
     measured = result.accesses - before_accesses

@@ -55,11 +55,12 @@ def sweep_point(kernel: str, size: str) -> dict:
     """Baseline vs reduced-tRCD runs (EasyDRAM and Ramulator), one kernel."""
     characterization, reduced_c, nominal_c = _characterization()
     config = _config()
-    base = EasyDRAMSystem(config).run(polybench.trace(kernel, size), kernel)
+    base = EasyDRAMSystem(config).run(polybench.trace_blocks(kernel, size),
+                                      kernel)
     sys_t = EasyDRAMSystem(config)
     technique = TrcdReductionTechnique(sys_t, characterization)
     technique.install()
-    fast = sys_t.run(polybench.trace(kernel, size), kernel)
+    fast = sys_t.run(polybench.trace_blocks(kernel, size), kernel)
     easy = base.emulated_ps / fast.emulated_ps
 
     ram_base = RamulatorSim(RamulatorConfig(max_accesses=RAMULATOR_CAP)).run(

@@ -32,6 +32,29 @@ from repro.workloads import polybench
 KERNELS = polybench.FIG13_KERNELS
 RAMULATOR_CAP = 60_000
 
+#: Keep sampling a platform until its accumulated wall time reaches this
+#: floor.  The fast path finishes mini kernels in single-digit
+#: milliseconds, where one-shot rates are dominated by scheduler jitter;
+#: best-of-N over a fixed window keeps the reported rate stable run to
+#: run.  The round cap only bounds pathological cases — it must be high
+#: enough that millisecond-scale runs actually fill the window.
+MIN_MEASURE_SECONDS = 0.1
+MAX_MEASURE_ROUNDS = 100
+
+
+def _best_rate(run_once) -> tuple[float, object]:
+    """Best (max) sim rate over a minimum measurement window."""
+    best_hz = 0.0
+    result = None
+    spent = 0.0
+    for _ in range(MAX_MEASURE_ROUNDS):
+        result = run_once()
+        spent += result.wall_seconds
+        best_hz = max(best_hz, result.sim_speed_hz)
+        if spent >= MIN_MEASURE_SECONDS:
+            break
+    return best_hz, result
+
 
 def sweep_point(kernel: str, size: str) -> dict:
     """Wall-clock simulation speed of both platforms on one kernel.
@@ -43,16 +66,19 @@ def sweep_point(kernel: str, size: str) -> dict:
     contend for cores while a point is timing itself.
     """
     config = jetson_nano_time_scaling(**scaled_cache_overrides())
-    easy = EasyDRAMSystem(config, engine="event").run(
-        polybench.trace(kernel, size), kernel)
-    easy_cycle = EasyDRAMSystem(config, engine="cycle").run(
-        polybench.trace(kernel, size), kernel)
-    ram = RamulatorSim(RamulatorConfig(max_accesses=RAMULATOR_CAP)).run(
-        polybench.trace(kernel, size), kernel)
+    easy_hz, easy = _best_rate(lambda: EasyDRAMSystem(
+        config, engine="event").run(polybench.trace_blocks(kernel, size),
+                                    kernel))
+    cycle_hz, _ = _best_rate(lambda: EasyDRAMSystem(
+        config, engine="cycle").run(polybench.trace_blocks(kernel, size),
+                                    kernel))
+    ram_hz, _ = _best_rate(lambda: RamulatorSim(RamulatorConfig(
+        max_accesses=RAMULATOR_CAP)).run(polybench.trace(kernel, size),
+                                         kernel))
     return {
-        "easydram_mhz": easy.sim_speed_hz / 1e6,
-        "easydram_cycle_mhz": easy_cycle.sim_speed_hz / 1e6,
-        "ramulator_mhz": ram.sim_speed_hz / 1e6,
+        "easydram_mhz": easy_hz / 1e6,
+        "easydram_cycle_mhz": cycle_hz / 1e6,
+        "ramulator_mhz": ram_hz / 1e6,
         "mpk_accesses": easy.mpk_accesses,
     }
 

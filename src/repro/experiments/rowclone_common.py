@@ -29,7 +29,13 @@ from repro.core.config import SystemConfig
 from repro.core.system import EasyDRAMSystem
 from repro.core.techniques.rowclone import RowCloneTechnique
 from repro.experiments.common import full_runs_enabled
-from repro.workloads.microbench import cpu_copy_trace, cpu_init_trace, touch_trace
+from repro.workloads.microbench import (
+    cpu_copy_blocks,
+    cpu_copy_trace,
+    cpu_init_blocks,
+    cpu_init_trace,
+    touch_blocks,
+)
 
 #: Src/dst array anchors (DRAM-row aligned, far apart).
 SRC_BASE = 0
@@ -79,13 +85,13 @@ def measure_easydram(config: SystemConfig, workload: str, size: int,
     if clflush:
         # The data has live cached copies before the measured phase.
         warm_base = SRC_BASE if workload == "copy" else DST_BASE
-        ses_cpu.run_trace(touch_trace(warm_base, size, write=True))
+        ses_cpu.run_trace(touch_blocks(warm_base, size, write=True))
     if workload == "copy":
         cpu_ps = _measured(ses_cpu, lambda: ses_cpu.run_trace(
-            cpu_copy_trace(SRC_BASE, DST_BASE, size)))
+            cpu_copy_blocks(SRC_BASE, DST_BASE, size)))
     else:
         cpu_ps = _measured(ses_cpu, lambda: ses_cpu.run_trace(
-            cpu_init_trace(DST_BASE, size)))
+            cpu_init_blocks(DST_BASE, size)))
     # -- RowClone variant ----------------------------------------------------
     sys_rc = EasyDRAMSystem(config)
     ses_rc = sys_rc.session(f"rowclone-{workload}")
@@ -94,14 +100,14 @@ def measure_easydram(config: SystemConfig, workload: str, size: int,
         plan = tech.plan_copy(size, base_addr=SRC_BASE)
         total_rows = len(plan.pairs)
         if clflush:
-            ses_rc.run_trace(touch_trace(SRC_BASE, size, write=True))
+            ses_rc.run_trace(touch_blocks(SRC_BASE, size, write=True))
         rc_ps = _measured(ses_rc, lambda: tech.execute_copy(
             plan, clflush=clflush))
     else:
         plan = tech.plan_init(size, base_addr=DST_BASE)
         total_rows = len(plan.targets)
         if clflush:
-            ses_rc.run_trace(touch_trace(DST_BASE, size, write=True))
+            ses_rc.run_trace(touch_blocks(DST_BASE, size, write=True))
         rc_ps = _measured(ses_rc, lambda: tech.execute_init(
             plan, clflush=clflush, include_source_setup=False))
     return Point(size=size, cpu_ps=cpu_ps, rowclone_ps=rc_ps,

@@ -22,8 +22,8 @@ from repro.workloads import lmbench, polybench
 
 def _make_trace(workload: str, size: str):
     if workload == "lmbench-lat":
-        return lmbench.pointer_chase(256 * 1024, 6000)
-    return polybench.trace(workload, size)
+        return lmbench.pointer_chase_blocks(256 * 1024, 6000)
+    return polybench.trace_blocks(workload, size)
 
 
 def sweep_point(workload: str, size: str) -> dict:

@@ -21,7 +21,7 @@ from repro.workloads import polybench
 def sweep_point(kernel: str, size: str) -> dict:
     """Measure both platforms' rates and build the whole table."""
     easy = EasyDRAMSystem(jetson_nano_time_scaling()).run(
-        polybench.trace(kernel, size), kernel)
+        polybench.trace_blocks(kernel, size), kernel)
     ram = RamulatorSim(RamulatorConfig()).run(
         polybench.trace(kernel, size), kernel)
     # Cycles the modeled FPGA platform would evaluate per second of FPGA

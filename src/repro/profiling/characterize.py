@@ -14,6 +14,7 @@ way a real chip would produce them.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.system import Session
@@ -143,6 +144,177 @@ def characterize(session: Session, banks: range, rows: range,
                 session, bank, row, candidates_ps, cols_per_row_sampled)
             result.profiles[(bank, row)] = profile
     return result
+
+
+# ---------------------------------------------------------------------------
+# Host-time layer profiling (where does the emulation's wall time go?)
+# ---------------------------------------------------------------------------
+
+
+class LayerTimes:
+    """Accumulated host seconds per emulation layer."""
+
+    __slots__ = ("trace_gen", "cache", "smc", "device", "total",
+                 "_smc_depth", "_device_depth")
+
+    def __init__(self) -> None:
+        self.trace_gen = 0.0
+        self.cache = 0.0
+        self.smc = 0.0       # inclusive (device time is subtracted on report)
+        self.device = 0.0
+        self.total = 0.0
+        self._smc_depth = 0
+        self._device_depth = 0
+
+    def as_dict(self) -> dict:
+        """JSON-ready breakdown; ``smc_s`` excludes nested device time."""
+        smc_exclusive = max(0.0, self.smc - self.device)
+        other = max(0.0, self.total
+                    - (self.trace_gen + self.cache + self.smc))
+        return {
+            "trace_gen_s": round(self.trace_gen, 4),
+            "cache_s": round(self.cache, 4),
+            "smc_s": round(smc_exclusive, 4),
+            "device_s": round(self.device, 4),
+            "other_s": round(other, 4),
+            "total_s": round(self.total, 4),
+        }
+
+
+def _timed(fn, acc: LayerTimes, layer: str, depth_attr: str | None):
+    """Wrap ``fn`` to accumulate its inclusive wall time into ``acc``."""
+    import time as _time
+
+    perf = _time.perf_counter
+
+    def wrapper(*args, **kwargs):
+        if depth_attr is not None:
+            depth = getattr(acc, depth_attr)
+            setattr(acc, depth_attr, depth + 1)
+            if depth:
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    setattr(acc, depth_attr, depth)
+        start = perf()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            setattr(acc, layer, getattr(acc, layer) + (perf() - start))
+            if depth_attr is not None:
+                setattr(acc, depth_attr, depth)
+
+    return wrapper
+
+
+@contextmanager
+def measure_layers():
+    """Instrument the emulation layers for the dynamic extent of a run.
+
+    Patches the layer entry points at class level — trace generation
+    (the iterator/block stream consumed by ``Session.run_trace``), the
+    cache filter, the software memory controller's critical-mode
+    episodes, and the DRAM device's issue paths — and yields the
+    :class:`LayerTimes` accumulator.  Systems must be *constructed
+    inside* the context so their hoisted bound methods pick up the
+    instrumented functions.
+    """
+    import time as _time
+
+    from repro.core.smc import SoftwareMemoryController
+    from repro.core.system import Session
+    from repro.cpu.blocks import BlockTrace
+    from repro.cpu.cache import CacheHierarchy
+    from repro.dram.device import DramDevice
+
+    acc = LayerTimes()
+    perf = _time.perf_counter
+    patches: list[tuple[type, str, object]] = []
+
+    def patch(cls, name, layer, depth_attr=None):
+        original = getattr(cls, name)
+        patches.append((cls, name, original))
+        setattr(cls, name, _timed(original, acc, layer, depth_attr))
+
+    patch(CacheHierarchy, "access", "cache")
+    patch(CacheHierarchy, "access_block", "cache")
+    patch(SoftwareMemoryController, "service_pending", "smc", "_smc_depth")
+    patch(SoftwareMemoryController, "service_pending_batched", "smc",
+          "_smc_depth")
+    patch(SoftwareMemoryController, "technique_episode", "smc", "_smc_depth")
+    for name in ("issue", "issue_discard", "issue_fast", "issue_col",
+                 "issue_plan"):
+        patch(DramDevice, name, "device", "_device_depth")
+
+    original_run_trace = Session.run_trace
+    patches.append((Session, "run_trace", original_run_trace))
+
+    def timed_run_trace(self, trace):
+        if isinstance(trace, BlockTrace):
+            inner = iter(trace)
+
+            def blocks():
+                while True:
+                    start = perf()
+                    block = next(inner, None)
+                    acc.trace_gen += perf() - start
+                    if block is None:
+                        return
+                    yield block
+
+            return original_run_trace(self, BlockTrace(blocks()))
+        inner = iter(trace)
+
+        def accesses():
+            while True:
+                start = perf()
+                access = next(inner, None)
+                acc.trace_gen += perf() - start
+                if access is None:
+                    return
+                yield access
+
+        return original_run_trace(self, accesses())
+
+    Session.run_trace = timed_run_trace
+
+    start = perf()
+    try:
+        yield acc
+    finally:
+        acc.total = perf() - start
+        for cls, name, original in patches:
+            setattr(cls, name, original)
+
+
+def layer_breakdown(run_fn, *args, **kwargs) -> dict:
+    """Run ``run_fn`` under :func:`measure_layers`; return the breakdown."""
+    with measure_layers() as acc:
+        run_fn(*args, **kwargs)
+    return acc.as_dict()
+
+
+def layer_breakdown_for_artifact(artifact: str) -> dict:
+    """Per-layer host-time breakdown of one experiment artifact's point.
+
+    Profiles the artifact's *last* registered sweep point (for the
+    figure sweeps that is the largest configuration — the one that
+    dominates the sweep's wall time) serially in-process.  Used by
+    ``repro profile`` to attribute emulation wall time to the block
+    pipeline's stages.
+    """
+    from repro.runner import registry
+
+    spec = registry.get(artifact)
+    points = spec.build_points()
+    if not points:
+        raise KeyError(f"artifact {artifact!r} has no sweep points")
+    point = points[-1]
+    fn = point.resolve()
+    breakdown = layer_breakdown(fn, **point.params)
+    breakdown["artifact"] = artifact
+    breakdown["point_id"] = point.point_id
+    return breakdown
 
 
 def oracle_characterize(system_cells, geometry, banks: range,

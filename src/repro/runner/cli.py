@@ -64,11 +64,85 @@ def _parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true",
         help="suppress the ASCII reports (progress lines only)")
+    run.add_argument(
+        "--bench", action="store_true",
+        help="run the emulation-speed benchmark harness instead of"
+             " artifact sweeps; writes BENCH_emulation.json under --out"
+             " and fails on >20%% speedup regression vs the checked-in"
+             " baseline")
 
     lst = sub.add_parser("list", help="list registered artifacts")
     lst.add_argument("--verbose", action="store_true",
                      help="include implementing module and point counts")
+
+    prof = sub.add_parser(
+        "profile",
+        help="host-time layer breakdown (trace gen / cache / SMC / device)")
+    prof.add_argument(
+        "--artifact", default="fig08",
+        help="experiment artifact to profile (default: fig08)")
+    prof.add_argument(
+        "--json", action="store_true", help="emit the breakdown as JSON")
     return parser
+
+
+def _load_bench_harness():
+    """Import ``benchmarks/harness.py`` from the repository checkout.
+
+    The benchmark harness intentionally lives next to the benchmark
+    suite (not inside the installed package); resolve it relative to the
+    working directory or the source tree.
+    """
+    import importlib.util
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    candidates = [
+        os.path.join(os.getcwd(), "benchmarks", "harness.py"),
+        os.path.normpath(os.path.join(
+            here, "..", "..", "..", "benchmarks", "harness.py")),
+    ]
+    for path in candidates:
+        if os.path.exists(path):
+            spec = importlib.util.spec_from_file_location(
+                "repro_bench_harness", path)
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            return module
+    raise FileNotFoundError(
+        "benchmarks/harness.py not found; run from a repository checkout")
+
+
+def _bench_command(args: argparse.Namespace) -> int:
+    try:
+        harness = _load_bench_harness()
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out_dir = args.out or results_dir()
+    os.makedirs(out_dir, exist_ok=True)
+    out_path = os.path.join(out_dir, "BENCH_emulation.json")
+    return harness.main(["--out", out_path, "--check"])
+
+
+def _profile_command(args: argparse.Namespace) -> int:
+    from repro.profiling.characterize import layer_breakdown_for_artifact
+
+    try:
+        breakdown = layer_breakdown_for_artifact(args.artifact)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(breakdown, indent=2))
+        return 0
+    total = breakdown["total_s"]
+    print(f"host-time layer breakdown — {args.artifact}"
+          f" ({breakdown['point_id']}, {total:.3f}s total)")
+    for layer in ("trace_gen", "cache", "smc", "device", "other"):
+        seconds = breakdown[f"{layer}_s"]
+        share = 100.0 * seconds / total if total else 0.0
+        print(f"  {layer:10s} {seconds:8.3f}s  {share:5.1f}%")
+    return 0
 
 
 def _select_artifacts(selector: str) -> list[str]:
@@ -81,6 +155,8 @@ def _select_artifacts(selector: str) -> list[str]:
 
 
 def _run_command(args: argparse.Namespace) -> int:
+    if args.bench:
+        return _bench_command(args)
     if args.full:
         os.environ["REPRO_FULL"] = "1"
     try:
@@ -199,6 +275,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     if args.command == "run":
         return _run_command(args)
+    if args.command == "profile":
+        return _profile_command(args)
     return _list_command(args)
 
 

@@ -51,6 +51,12 @@ _LOADED = False
 def register(spec: SweepSpec) -> SweepSpec:
     """Register ``spec`` under its artifact id (idempotent per module)."""
     existing = _REGISTRY.get(spec.artifact)
+    if spec.module == "__main__" and existing is not None:
+        # ``python -m repro.experiments.<name>``: runpy re-executes an
+        # already-imported module under ``__name__ == "__main__"``.
+        # Keep the importable registration — its point-function
+        # references must stay resolvable in worker processes.
+        return existing
     if existing is not None and existing.module != spec.module:
         raise ValueError(
             f"artifact {spec.artifact!r} already registered by"

@@ -17,7 +17,9 @@ from __future__ import annotations
 import random
 from typing import Iterator
 
-from repro.cpu.memtrace import Access, load
+from repro.cpu.blocks import AccessBlock, BlockTrace
+from repro.cpu.memtrace import FLAG_DEPENDENT, Access
+from repro.fastpath import block_accesses
 
 #: Working-set sizes of Figure 8 (1 KiB .. 16 MiB).
 FIG8_SIZES_KIB = (
@@ -26,13 +28,16 @@ FIG8_SIZES_KIB = (
 )
 
 
-def pointer_chase(size_bytes: int, accesses: int, line_bytes: int = 64,
-                  base_addr: int = 1 << 22, seed: int = 7,
-                  gap: int = 1) -> Iterator[Access]:
-    """Dependent-load chase over ``size_bytes`` of memory.
+def pointer_chase_blocks(size_bytes: int, accesses: int, line_bytes: int = 64,
+                         base_addr: int = 1 << 22, seed: int = 7,
+                         gap: int = 1, block: int | None = None) -> BlockTrace:
+    """Dependent-load chase over ``size_bytes`` of memory (block-native).
 
     ``accesses`` loads are issued, wrapping around the chain as needed.
-    Every load is flagged dependent so the core serializes on it.
+    Every load is flagged dependent so the core serializes on it.  The
+    chain order is the same seeded permutation the per-access generator
+    always used; blocks are C-speed slices of the precomputed one-pass
+    address list.
     """
     if size_bytes < line_bytes:
         raise ValueError("working set must hold at least one line")
@@ -40,13 +45,31 @@ def pointer_chase(size_bytes: int, accesses: int, line_bytes: int = 64,
     order = list(range(lines))
     rng = random.Random(seed)
     rng.shuffle(order)
-    issued = 0
-    while issued < accesses:
-        for index in order:
-            if issued >= accesses:
-                return
-            yield load(base_addr + index * line_bytes, gap=gap, dependent=True)
-            issued += 1
+    pass_addrs = [base_addr + index * line_bytes for index in order]
+    per_block = max(1, block or block_accesses())
+
+    def chunks() -> Iterator[AccessBlock]:
+        issued = 0
+        pos = 0
+        while issued < accesses:
+            count = min(per_block, accesses - issued)
+            addr: list[int] = []
+            while len(addr) < count:
+                take = min(count - len(addr), lines - pos)
+                addr.extend(pass_addrs[pos:pos + take])
+                pos = (pos + take) % lines
+            yield AccessBlock(addr, [FLAG_DEPENDENT] * count, [gap] * count)
+            issued += count
+
+    return BlockTrace(chunks())
+
+
+def pointer_chase(size_bytes: int, accesses: int, line_bytes: int = 64,
+                  base_addr: int = 1 << 22, seed: int = 7,
+                  gap: int = 1) -> Iterator[Access]:
+    """Dependent-load chase (per-access shim over the block builder)."""
+    yield from pointer_chase_blocks(
+        size_bytes, accesses, line_bytes, base_addr, seed, gap).accesses()
 
 
 def accesses_for(size_bytes: int, min_accesses: int = 4096,

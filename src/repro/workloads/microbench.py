@@ -8,13 +8,22 @@
 Accesses are modeled at cache-line granularity: one load/store per 64 B
 line with a ``gap`` accounting for the other seven register-width
 load/store pairs the core executes per line.
+
+The primary generators emit :class:`~repro.cpu.blocks.AccessBlock`
+chunks (address arithmetic is bulk NumPy/array math, not one namedtuple
+per access); the ``*_trace`` iterators are thin compatibility shims over
+the block builders and yield the exact same access stream.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
 
-from repro.cpu.memtrace import Access, load, store
+import numpy as np
+
+from repro.cpu.blocks import AccessBlock, BlockTrace
+from repro.cpu.memtrace import Access
+from repro.fastpath import block_accesses
 
 #: Array sizes of Figures 10/11 (8 KiB .. 16 MiB).
 FIG10_SIZES = tuple(8 * 1024 * (1 << i) for i in range(12))
@@ -24,28 +33,76 @@ FIG10_SIZES = tuple(8 * 1024 * (1 << i) for i in range(12))
 _LINE_GAP = 7
 
 
+def cpu_copy_blocks(src_base: int, dst_base: int, size_bytes: int,
+                    line_bytes: int = 64, block: int | None = None) -> BlockTrace:
+    """CPU-copy: streaming loads from src, stores to dst (block-native)."""
+    lines = size_bytes // line_bytes
+    pairs_per_block = max(1, (block or block_accesses()) // 2)
+
+    def chunks() -> Iterator[AccessBlock]:
+        for start in range(0, lines, pairs_per_block):
+            count = min(pairs_per_block, lines - start)
+            offsets = np.arange(start, start + count, dtype=np.int64)
+            offsets *= line_bytes
+            addr = np.empty(2 * count, dtype=np.int64)
+            addr[0::2] = src_base + offsets
+            addr[1::2] = dst_base + offsets
+            yield AccessBlock(addr.tolist(), [0, 1] * count,
+                              [_LINE_GAP] * (2 * count))
+
+    return BlockTrace(chunks())
+
+
 def cpu_copy_trace(src_base: int, dst_base: int, size_bytes: int,
                    line_bytes: int = 64) -> Iterator[Access]:
-    """CPU-copy: streaming loads from src, stores to dst."""
+    """CPU-copy as a per-access iterator (shim over the block builder)."""
+    yield from cpu_copy_blocks(src_base, dst_base, size_bytes,
+                               line_bytes).accesses()
+
+
+def cpu_init_blocks(dst_base: int, size_bytes: int, line_bytes: int = 64,
+                    block: int | None = None) -> BlockTrace:
+    """CPU-init: streaming stores of a fill pattern (block-native)."""
     lines = size_bytes // line_bytes
-    for i in range(lines):
-        offset = i * line_bytes
-        yield load(src_base + offset, gap=_LINE_GAP)
-        yield store(dst_base + offset, gap=_LINE_GAP)
+    per_block = max(1, block or block_accesses())
+
+    def chunks() -> Iterator[AccessBlock]:
+        for start in range(0, lines, per_block):
+            count = min(per_block, lines - start)
+            addr = np.arange(start, start + count, dtype=np.int64)
+            addr *= line_bytes
+            addr += dst_base
+            yield AccessBlock(addr.tolist(), [1] * count,
+                              [2 * _LINE_GAP] * count)
+
+    return BlockTrace(chunks())
 
 
 def cpu_init_trace(dst_base: int, size_bytes: int,
                    line_bytes: int = 64) -> Iterator[Access]:
-    """CPU-init: streaming stores of a fill pattern."""
+    """CPU-init as a per-access iterator (shim over the block builder)."""
+    yield from cpu_init_blocks(dst_base, size_bytes, line_bytes).accesses()
+
+
+def touch_blocks(base: int, size_bytes: int, line_bytes: int = 64,
+                 write: bool = False, block: int | None = None) -> BlockTrace:
+    """Touch every line once (block-native warm-up / residency pass)."""
     lines = size_bytes // line_bytes
-    for i in range(lines):
-        yield store(dst_base + i * line_bytes, gap=2 * _LINE_GAP)
+    per_block = max(1, block or block_accesses())
+    flag = 1 if write else 0
+
+    def chunks() -> Iterator[AccessBlock]:
+        for start in range(0, lines, per_block):
+            count = min(per_block, lines - start)
+            addr = np.arange(start, start + count, dtype=np.int64)
+            addr *= line_bytes
+            addr += base
+            yield AccessBlock(addr.tolist(), [flag] * count, [1] * count)
+
+    return BlockTrace(chunks())
 
 
 def touch_trace(base: int, size_bytes: int, line_bytes: int = 64,
                 write: bool = False) -> Iterator[Access]:
-    """Touch every line once (warms caches / establishes residency)."""
-    lines = size_bytes // line_bytes
-    for i in range(lines):
-        addr = base + i * line_bytes
-        yield store(addr, gap=1) if write else load(addr, gap=1)
+    """Touch every line once (per-access shim over the block builder)."""
+    yield from touch_blocks(base, size_bytes, line_bytes, write).accesses()

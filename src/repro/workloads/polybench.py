@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from repro.cpu.blocks import BlockTrace, blockify
 from repro.cpu.memtrace import Access, load, store
 
 ELEM = 8  # sizeof(double)
@@ -135,6 +136,17 @@ def trace(name: str, size: str = "small") -> Iterator[Access]:
     except KeyError:
         raise KeyError(f"unknown size class {size!r}; known: {sorted(sizes)}") from None
     return fn(dims)
+
+
+def trace_blocks(name: str, size: str = "small",
+                 block: int | None = None) -> BlockTrace:
+    """A kernel's memory trace chunked into access blocks.
+
+    The loop-nest generator still produces the accesses one by one (the
+    kernels are irregular), but the cache and processor layers get the
+    batched frontend interface.
+    """
+    return blockify(trace(name, size), block)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,105 @@
+"""Every experiment artifact is bit-identical with the fast path on/off.
+
+``REPRO_FASTPATH=0`` reproduces the PR 2 object pipeline (per-access
+processing, staged programs, object-based timing checks); ``1`` enables
+the array-native frontend, flat timing state, and program pooling.  The
+fast path is a pure host-time optimization, so each artifact's result
+dict must not change by a single bit.  Sweeps run at the smallest
+meaningful scale — the shared machinery is identical at any size.
+
+fig14 is the exception by construction: it reports *host* simulation
+rates, which legitimately change with the fast path; its equivalence is
+pinned on the underlying emulated run instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import jetson_nano_time_scaling
+from repro.core.system import EasyDRAMSystem
+from repro.experiments import (
+    ablations,
+    fig02_breakdown,
+    fig08_latency_profile,
+    fig10_rowclone_noflush,
+    fig11_rowclone_clflush,
+    fig12_trcd_heatmap,
+    fig13_trcd_speedup,
+    sec6_validation,
+    tab01_platforms,
+)
+from repro.workloads import polybench
+
+
+def _strip_fig02_wall(result):
+    # ``details`` embeds full RunResults; wall_seconds is host time.
+    details = {}
+    for name, run in result["details"].items():
+        run = dataclasses.asdict(run)
+        run.pop("wall_seconds")
+        details[name] = run
+    return result | {"details": details}
+
+
+def _strip_tab01_rates(result):
+    # The baseline simulator's cycles/s is measured on this host.
+    stripped = {k: v for k, v in result.items()
+                if k not in ("ramulator_rate_hz", "rows")}
+    stripped["rows"] = [
+        tuple("host-rate" if "measured, this host" in str(cell) else cell
+              for cell in row)
+        for row in result["rows"]]
+    return stripped
+
+
+def run_both(monkeypatch, fn, *args, **kwargs):
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    slow = fn(*args, **kwargs)
+    monkeypatch.setenv("REPRO_FASTPATH", "1")
+    fast = fn(*args, **kwargs)
+    return slow, fast
+
+
+@pytest.mark.parametrize("name,call,normalize", [
+    ("fig02", lambda: fig02_breakdown.run(accesses=800), _strip_fig02_wall),
+    ("fig08", lambda: fig08_latency_profile.run(
+        sizes_kib=(16, 1024), max_accesses=1500), None),
+    ("fig10", lambda: fig10_rowclone_noflush.run(sizes=(8 * 1024, 64 * 1024)),
+     None),
+    ("fig11", lambda: fig11_rowclone_clflush.run(sizes=(8 * 1024, 64 * 1024)),
+     None),
+    ("fig12", lambda: fig12_trcd_heatmap.run(banks=1, rows=48), None),
+    ("fig13", lambda: fig13_trcd_speedup.run(
+        kernels=("trisolv",), size="mini"), None),
+    ("tab01", lambda: tab01_platforms.run(kernel="durbin", size="mini"),
+     _strip_tab01_rates),
+    ("sec6", lambda: sec6_validation.run(kernels=["durbin"], size="mini"),
+     None),
+    ("ablations", lambda: ablations.run(), None),
+])
+def test_artifact_bit_identical(monkeypatch, name, call, normalize):
+    slow, fast = run_both(monkeypatch, call)
+    if normalize is not None:
+        slow, fast = normalize(slow), normalize(fast)
+    assert slow == fast, f"{name}: fast path changed the artifact"
+
+
+def test_fig14_emulated_run_bit_identical(monkeypatch):
+    """fig14's emulated quantities (not its wall-clock rates) match."""
+    def emulated(kernel="durbin"):
+        results = []
+        for engine in ("event", "cycle"):
+            system = EasyDRAMSystem(jetson_nano_time_scaling(), engine=engine)
+            run = system.run(polybench.trace_blocks(kernel, "mini"), kernel)
+            result = dataclasses.asdict(run)
+            result.pop("wall_seconds")
+            result.pop("estimated_fpga_seconds", None)
+            results.append(result)
+        assert results[0] == results[1]  # engines agree at this setting too
+        return results[0]
+
+    slow, fast = run_both(monkeypatch, emulated)
+    assert slow == fast

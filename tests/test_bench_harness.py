@@ -1,0 +1,145 @@
+"""Benchmark-harness plumbing: schema, regression gate, CLI wiring.
+
+The heavy measurement itself runs in the ``-m bench`` suite
+(:mod:`benchmarks.test_emulation_speed`); tier-1 only validates the
+harness's logic on stubbed or miniature inputs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_harness():
+    spec = importlib.util.spec_from_file_location(
+        "bench_harness_under_test",
+        os.path.join(REPO, "benchmarks", "harness.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def report_with(speedups: dict) -> dict:
+    return {
+        "schema": "bench-emulation/v1",
+        "results": [{"workload": name, "speedup": value}
+                    for name, value in speedups.items()],
+    }
+
+
+class TestRegressionGate:
+    def test_within_tolerance_passes(self):
+        harness = load_harness()
+        baseline = report_with({"fig08": 3.0, "fig10-cpu-copy": 3.0})
+        report = report_with({"fig08": 2.5, "fig10-cpu-copy": 3.4})
+        assert harness.check_regression(report, baseline) == []
+
+    def test_regression_fails(self):
+        harness = load_harness()
+        baseline = report_with({"fig08": 3.0})
+        report = report_with({"fig08": 2.3})  # below 3.0 * 0.8
+        failures = harness.check_regression(report, baseline)
+        assert len(failures) == 1 and "fig08" in failures[0]
+
+    def test_unknown_workloads_are_ignored(self):
+        harness = load_harness()
+        baseline = report_with({"other": 9.0})
+        report = report_with({"fig08": 1.0})
+        assert harness.check_regression(report, baseline) == []
+
+
+class TestHarnessReport:
+    def test_main_writes_report_and_checks(self, tmp_path, monkeypatch):
+        harness = load_harness()
+        fake = {
+            "schema": "bench-emulation/v1",
+            "engine": "event",
+            "git_rev": "deadbee",
+            "python": "3.11",
+            "rounds": 1,
+            "results": [{
+                "workload": "fig08", "accesses": 1000,
+                "baseline_wall_s": 1.0, "fastpath_wall_s": 0.25,
+                "baseline_accesses_per_s": 1000,
+                "fastpath_accesses_per_s": 4000, "speedup": 4.0,
+            }],
+        }
+        monkeypatch.setattr(harness, "run_benchmarks", lambda rounds: fake)
+        monkeypatch.setattr(harness, "BASELINE_PATH",
+                            str(tmp_path / "BENCH_baseline.json"))
+        out = tmp_path / "BENCH_emulation.json"
+        assert harness.main(["--out", str(out), "--update-baseline"]) == 0
+        written = json.loads(out.read_text())
+        assert written["results"][0]["workload"] == "fig08"
+        assert json.loads((tmp_path / "BENCH_baseline.json").read_text()) \
+            == fake
+        # Second run gates against the freshly written baseline.
+        assert harness.main(["--out", str(out), "--check"]) == 0
+        worse = json.loads(json.dumps(fake))
+        worse["results"][0]["speedup"] = 1.0
+        monkeypatch.setattr(harness, "run_benchmarks", lambda rounds: worse)
+        assert harness.main(["--out", str(out), "--check"]) == 1
+
+    def test_checked_in_baseline_is_valid(self):
+        harness = load_harness()
+        with open(harness.BASELINE_PATH) as fh:
+            baseline = json.load(fh)
+        assert baseline["schema"] == "bench-emulation/v1"
+        names = {r["workload"] for r in baseline["results"]}
+        assert names == set(harness.WORKLOADS)
+        for row in baseline["results"]:
+            assert row["speedup"] >= 3.0  # the tentpole's acceptance bar
+
+    def test_measure_workload_asserts_artifact_equality(self, monkeypatch):
+        harness = load_harness()
+        artifacts = iter([({"a": 1}, 1.0), ({"a": 2}, 1.0)])
+
+        def fake_run_once(driver, fast):
+            artifact, wall = next(artifacts)
+            return wall, artifact
+
+        monkeypatch.setattr(harness, "_run_once", fake_run_once)
+        try:
+            harness.measure_workload("fig08", rounds=1)
+        except AssertionError as exc:
+            assert "artifact" in str(exc)
+        else:  # pragma: no cover - guard
+            raise AssertionError("artifact mismatch not detected")
+
+
+class TestCliBench:
+    def test_run_bench_invokes_harness(self, tmp_path, monkeypatch):
+        from repro.runner import cli
+
+        calls = {}
+
+        class FakeHarness:
+            @staticmethod
+            def main(argv):
+                calls["argv"] = argv
+                return 0
+
+        monkeypatch.setattr(cli, "_load_bench_harness", lambda: FakeHarness)
+        rc = cli.main(["run", "--bench", "--out", str(tmp_path)])
+        assert rc == 0
+        assert calls["argv"][0] == "--out"
+        assert calls["argv"][1].endswith("BENCH_emulation.json")
+        assert "--check" in calls["argv"]
+
+    def test_profile_command_smoke(self, capsys):
+        from repro.runner import cli
+
+        rc = cli.main(["profile", "--artifact", "fig02"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for layer in ("trace_gen", "cache", "smc", "device"):
+            assert layer in out
+
+    def test_profile_unknown_artifact(self, capsys):
+        from repro.runner import cli
+
+        assert cli.main(["profile", "--artifact", "nope"]) == 2
