@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 15 (channel-scaling extension)."""
+
+from repro.experiments import fig15_channel_scaling
+
+
+def test_fig15_channel_scaling(once):
+    result = once(fig15_channel_scaling.run)
+    print()
+    print(fig15_channel_scaling.report(result))
+    # The whole point of channel-level parallelism: emulated stream
+    # throughput rises monotonically from 1 to 4 channels.
+    assert result["monotonic"]
+    assert result["speedups"][-1] > 1.5
+    # The channel-line interleave balances the stream across channels.
+    for counts in result["requests_per_channel"].values():
+        assert min(counts) > 0.8 * max(counts)

@@ -20,6 +20,7 @@ Quickstart::
 """
 
 from repro.core import (
+    TOPOLOGIES,
     EasyDRAMSystem,
     RunResult,
     Session,
@@ -28,6 +29,7 @@ from repro.core import (
     jetson_nano_time_scaling,
     pidram_no_time_scaling,
     preset,
+    topology,
     validation_reference,
     validation_time_scaled,
 )
@@ -36,6 +38,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "EasyDRAMSystem",
+    "TOPOLOGIES",
     "RunResult",
     "Session",
     "SystemConfig",
@@ -44,6 +47,7 @@ __all__ = [
     "jetson_nano_time_scaling",
     "pidram_no_time_scaling",
     "preset",
+    "topology",
     "validation_reference",
     "validation_time_scaled",
 ]

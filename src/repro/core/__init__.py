@@ -1,9 +1,12 @@
 """EasyDRAM core: time scaling, EasyAPI, the SMC, and the system engine."""
 
+from repro.core.channels import Channel, ChannelSet
 from repro.core.config import (
+    TOPOLOGIES,
     CacheConfig,
     ControllerConfig,
     SystemConfig,
+    topology,
     cortex_a57_reference,
     jetson_nano_time_scaling,
     pidram_no_time_scaling,
@@ -24,6 +27,9 @@ from repro.core.timescale import ClockDomain, TimeScalingCounters
 __all__ = [
     "Breakdown",
     "CacheConfig",
+    "Channel",
+    "ChannelSet",
+    "TOPOLOGIES",
     "ClockDomain",
     "ControllerConfig",
     "CostModel",
@@ -54,6 +60,7 @@ __all__ = [
     "make_scheduler",
     "pidram_no_time_scaling",
     "preset",
+    "topology",
     "validation_reference",
     "validation_time_scaled",
 ]

@@ -30,6 +30,37 @@ from repro.dram.address import Geometry
 from repro.dram.cells import CellModelConfig
 from repro.dram.timing import TimingParams, ddr4_1333, ns
 
+#: Memory-system topology presets (channels x ranks x bank layout).
+#: ``ddr4-*`` keep the paper's DDR4 bank layout (4 groups x 4 banks) and
+#: scale channels/ranks; ``lpddr4-*`` model the groupless 8-bank LPDDR4
+#: channel layout common on mobile SoCs.  Apply with :func:`topology`.
+TOPOLOGIES: dict[str, dict] = {
+    "ddr4-1ch": dict(channels=1, ranks=1),
+    "ddr4-2ch": dict(channels=2, ranks=1),
+    "ddr4-4ch": dict(channels=4, ranks=1),
+    "ddr4-2ch-2rk": dict(channels=2, ranks=2),
+    "ddr4-1ch-2rk": dict(channels=1, ranks=2),
+    "lpddr4-4ch": dict(channels=4, ranks=1, bank_groups=1,
+                       banks_per_group=8),
+}
+
+
+def topology(name: str, base: Geometry | None = None, **overrides) -> Geometry:
+    """Build a :class:`Geometry` from a named topology preset.
+
+    ``base`` supplies the non-topology dimensions (rows, columns, line
+    size; defaults to the default :class:`Geometry`); ``overrides`` win
+    over both.
+    """
+    try:
+        fields = dict(TOPOLOGIES[name])
+    except KeyError:
+        known = ", ".join(sorted(TOPOLOGIES))
+        raise KeyError(
+            f"unknown topology preset {name!r}; known: {known}") from None
+    fields.update(overrides)
+    return replace(base if base is not None else Geometry(), **fields)
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -93,6 +124,22 @@ class SystemConfig:
     def with_overrides(self, **kwargs) -> "SystemConfig":
         """Functional update helper for experiment sweeps."""
         return replace(self, **kwargs)
+
+    def with_topology(self, name: str,
+                      mapping_scheme: str | None = None,
+                      **geometry_overrides) -> "SystemConfig":
+        """Rebuild this config on a named memory-system topology.
+
+        Multi-channel topologies default to the ``channel-line``
+        interleave (maximum channel-level parallelism for streams)
+        unless ``mapping_scheme`` says otherwise; single-channel
+        topologies keep this config's scheme.
+        """
+        geometry = topology(name, base=self.geometry, **geometry_overrides)
+        if mapping_scheme is None:
+            mapping_scheme = ("channel-line" if geometry.channels > 1
+                              else self.mapping_scheme)
+        return replace(self, geometry=geometry, mapping_scheme=mapping_scheme)
 
 
 def _bender_domain(fpga_hz: float = 333e6) -> ClockDomain:

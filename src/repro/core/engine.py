@@ -30,6 +30,14 @@ emulated system does.
 Engines are selected per system via ``EasyDRAMSystem(config,
 engine=...)`` or the ``REPRO_ENGINE`` environment variable (default:
 ``event``).
+
+On multi-channel topologies both engines drive the same controller
+surface through the :class:`~repro.core.channels.ChannelSet` façade
+(``session.system.smc``): every gate's pending batch is routed by each
+request's decoded channel to that channel's software memory controller,
+which services its slice on the channel's own emulated timeline.  The
+event queue stays shared — releases from every channel merge into one
+skip-ahead schedule — so the engines themselves are topology-agnostic.
 """
 
 from __future__ import annotations

@@ -214,7 +214,7 @@ class SoftwareMemoryController(ProgramExecutor):
             if ins.command is not None:
                 device = self.tile.device
                 earliest, _ = device.checker.earliest_issue(
-                    ins.command, device.banks, device.rank)
+                    ins.command, device.banks, device.checker_rank)
                 return earliest
         return 0
 
@@ -640,7 +640,7 @@ class SoftwareMemoryController(ProgramExecutor):
         if self.dram_cursor > start:
             start = self.dram_cursor
         earliest = device.checker.earliest_ps(
-            cmds[0][0], device.banks, device.rank)
+            cmds[0][0], device.banks, device.checker_rank)
         if earliest > start:
             start = earliest
         tck = self.config.timing.tCK
@@ -707,7 +707,8 @@ class SoftwareMemoryController(ProgramExecutor):
             self._exec_anchor_ps = anchor
             start = anchor if anchor >= self.dram_cursor else self.dram_cursor
             prea = Command(CommandKind.PREA)
-            earliest = device.checker.earliest_ps(prea, device.banks, device.rank)
+            earliest = device.checker.earliest_ps(prea, device.banks,
+                                                  device.checker_rank)
             if earliest > start:
                 start = earliest
             device.issue_discard(prea, start, precleared=True)

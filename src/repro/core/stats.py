@@ -57,6 +57,9 @@ class RunResult:
     breakdown: Breakdown = field(default_factory=Breakdown)
     wall_seconds: float = 0.0
     estimated_fpga_seconds: float = 0.0
+    #: Requests serviced by each channel's controller, channel-major
+    #: (``[total]`` on the paper's single-channel topology).
+    requests_per_channel: list[int] = field(default_factory=list)
 
     @property
     def emulated_seconds(self) -> float:

@@ -28,6 +28,7 @@ from __future__ import annotations
 import time
 
 from repro.bender.engine import ExecResult
+from repro.core.channels import Channel, ChannelSet
 from repro.core.config import SystemConfig
 from repro.core.easyapi import CostModel, EasyAPI
 from repro.core.engine import EmulationDeadlock, make_engine, resolve_engine_name
@@ -38,6 +39,7 @@ from repro.core.timescale import TimeScalingCounters
 from repro.cpu.cache import Cache, CacheHierarchy
 from repro.cpu.memtrace import Trace
 from repro.cpu.processor import MemoryRequest, Processor
+from repro.dram.address import AddressMapper
 from repro.dram.timing import PS_PER_S, period_ps
 
 __all__ = ["EasyDRAMSystem", "EmulationDeadlock", "Session"]
@@ -51,6 +53,13 @@ class EasyDRAMSystem:
     cycle-stepped reference) — and may also be set globally through the
     ``REPRO_ENGINE`` environment variable.  Both engines produce
     bit-identical results; see :mod:`repro.core.engine`.
+
+    Topology follows ``config.geometry``: one tile + software memory
+    controller pair per channel, all sharing one topology-wide address
+    mapper and one set of time-scaling counters.  On the paper's
+    single-channel system :attr:`smc` *is* the lone controller; with
+    ``channels > 1`` it is a :class:`~repro.core.channels.ChannelSet`
+    routing each request to its channel's controller.
     """
 
     def __init__(self, config: SystemConfig,
@@ -58,11 +67,45 @@ class EasyDRAMSystem:
                  engine: str | None = None) -> None:
         self.config = config
         self.engine_name = resolve_engine_name(engine)
-        self.tile = EasyTile(config)
-        self.api = EasyAPI(self.tile, costs=costs)
         self.counters = TimeScalingCounters()
-        self.smc = SoftwareMemoryController(
-            config, self.tile, self.api, self.counters)
+        mapper = AddressMapper(config.geometry, config.mapping_scheme)
+        self.channels: list[Channel] = []
+        for index in range(config.geometry.channels):
+            tile = EasyTile(config, mapper=mapper, channel=index)
+            api = EasyAPI(tile, costs=costs)
+            smc = SoftwareMemoryController(config, tile, api, self.counters)
+            self.channels.append(Channel(index, tile, api, smc))
+        first = self.channels[0]
+        self.tile = first.tile
+        self.api = first.api
+        self.smc = (first.smc if len(self.channels) == 1
+                    else ChannelSet(self.channels))
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.channels)
+
+    @property
+    def tiles(self) -> list[EasyTile]:
+        return [c.tile for c in self.channels]
+
+    @property
+    def smcs(self) -> list[SoftwareMemoryController]:
+        return [c.smc for c in self.channels]
+
+    def smc_for(self, channel: int) -> SoftwareMemoryController:
+        """The software memory controller driving one channel."""
+        return self.channels[channel].smc
+
+    def api_for(self, channel: int) -> EasyAPI:
+        """One channel's EasyAPI instance."""
+        return self.channels[channel].api
+
+    def device_for(self, channel: int):
+        """One channel's DRAM device."""
+        return self.channels[channel].tile.device
 
     # -- convenience -------------------------------------------------------
 
@@ -109,6 +152,10 @@ class Session:
         # Bulk-decode each block's DRAM-bound addresses into the
         # mapper's memo as soon as the cache filter produces them.
         self.processor.prime_hook = system.mapper.prime
+        if system.num_channels > 1:
+            # Tag every DRAM request with its decoded channel at issue
+            # time; the ChannelSet routes on the tag without re-decoding.
+            self.processor.channel_hook = system.mapper.channel_of
         self.engine = make_engine(engine if engine is not None
                                   else system.engine_name)
         self._pending: list[MemoryRequest] = []
@@ -124,16 +171,18 @@ class Session:
     # -- technique support --------------------------------------------------------
 
     def technique_op(self, stage, respect_timing: bool = False,
-                     issue_cost_cycles: int = 4) -> ExecResult:
+                     issue_cost_cycles: int = 4, channel: int = 0) -> ExecResult:
         """Execute a technique operation synchronously (MMIO semantics).
 
         ``stage`` is a callable receiving the :class:`EasyAPI`; it stages
         the DRAM command sequence.  The processor blocks until the
-        operation's release cycle.
+        operation's release cycle.  ``channel`` selects which channel's
+        controller (and therefore which channel's EasyAPI/device) runs
+        the operation; the paper's single-channel system always uses 0.
         """
         proc = self.processor
         proc.cycles += issue_cost_cycles
-        release, result = self.system.smc.technique_episode(
+        release, result = self.system.smc_for(channel).technique_episode(
             stage, issue_cycle=proc.cycles, respect_timing=respect_timing)
         if release > proc.cycles:
             proc.stats.stall_cycles += release - proc.cycles
@@ -149,6 +198,8 @@ class Session:
         """
         line = self.hierarchy.line_bytes
         proc = self.processor
+        channel_of = (self.system.mapper.channel_of
+                      if self.system.num_channels > 1 else None)
         writebacks: list[MemoryRequest] = []
         first = start_addr - (start_addr % line)
         addr = first
@@ -158,7 +209,8 @@ class Session:
             if wb_addr is not None:
                 writebacks.append(MemoryRequest(
                     rid=rid, addr=wb_addr, is_write=True,
-                    tag=proc.cycles, is_writeback=True))
+                    tag=proc.cycles, is_writeback=True,
+                    channel=0 if channel_of is None else channel_of(wb_addr)))
                 rid += 1
             addr += line
         if writebacks:
@@ -175,25 +227,33 @@ class Session:
     # -- results ---------------------------------------------------------------
 
     def finish(self) -> RunResult:
-        """Close the session and compute the run's results."""
+        """Close the session and compute the run's results.
+
+        Memory-side counters are summed over every channel's tile,
+        controller, and device; on the paper's single-channel system the
+        sums are the lone channel's counters verbatim.
+        """
         wall = time.perf_counter() - self._wall_start
         proc = self.processor
         system = self.system
         config = system.config
-        tile_stats = system.tile.stats
+        tiles = system.tiles
+        scheduling_ps = sum(t.stats.scheduling_ps for t in tiles)
+        dram_busy_ps = sum(t.stats.dram_busy_ps for t in tiles)
+        total_sched_cycles = sum(s.stats.total_sched_cycles
+                                 for s in system.smcs)
         emulated_ps = proc.cycles * self._proc_period
         stall_ps = proc.stats.stall_cycles * self._proc_period
         breakdown = Breakdown(
             processing_ps=emulated_ps - stall_ps,
-            scheduling_ps=tile_stats.scheduling_ps,
-            main_memory_ps=tile_stats.dram_busy_ps,
+            scheduling_ps=scheduling_ps,
+            main_memory_ps=dram_busy_ps,
             stall_ps=stall_ps,
         )
         fpga_ps = (
             proc.cycles * config.processor_domain.fpga_period_ps
-            + system.smc.stats.total_sched_cycles
-            * config.controller_domain.fpga_period_ps
-            + tile_stats.dram_busy_ps)
+            + total_sched_cycles * config.controller_domain.fpga_period_ps
+            + dram_busy_ps)
         return RunResult(
             config_name=config.name,
             workload_name=self.workload_name,
@@ -208,13 +268,17 @@ class Session:
             avg_request_latency_cycles=proc.stats.avg_request_latency,
             l1=self.hierarchy.l1.stats,
             l2=self.hierarchy.l2.stats,
-            row_hits=tile_stats.row_hits,
-            row_misses=tile_stats.row_misses,
-            row_conflicts=tile_stats.row_conflicts,
-            refreshes=tile_stats.refreshes_issued,
-            technique_ops=tile_stats.technique_ops,
-            dram_commands=system.device.stats.total_commands(),
+            row_hits=sum(t.stats.row_hits for t in tiles),
+            row_misses=sum(t.stats.row_misses for t in tiles),
+            row_conflicts=sum(t.stats.row_conflicts for t in tiles),
+            refreshes=sum(t.stats.refreshes_issued for t in tiles),
+            technique_ops=sum(t.stats.technique_ops for t in tiles),
+            dram_commands=sum(c.tile.device.stats.total_commands()
+                              for c in system.channels),
             breakdown=breakdown,
             wall_seconds=wall,
             estimated_fpga_seconds=fpga_ps / PS_PER_S,
+            requests_per_channel=[s.stats.serviced_reads
+                                  + s.stats.serviced_writes
+                                  for s in system.smcs],
         )

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.system import Session
-from repro.dram.address import DramAddress
 from repro.workloads.microbench import cpu_copy_blocks, cpu_init_blocks
 
 _TEST_PATTERN_SALT = 0x5EED
@@ -27,12 +26,13 @@ _TEST_PATTERN_SALT = 0x5EED
 
 @dataclass(frozen=True)
 class RowPair:
-    """One RowClone operand pair within a bank."""
+    """One RowClone operand pair within a bank (of one channel)."""
 
     bank: int
     src_row: int
     dst_row: int
     reliable: bool
+    channel: int = 0
 
 
 @dataclass
@@ -49,8 +49,8 @@ class CopyPlan:
 class InitPlan:
     """A bulk initialization: one source row per touched subarray."""
 
-    #: (bank, subarray) -> source row carrying the fill pattern.
-    source_rows: dict[tuple[int, int], int]
+    #: (channel, bank, subarray) -> source row carrying the fill pattern.
+    source_rows: dict[tuple[int, int, int], int]
     #: Per target row: (bank, src_row, target_row, reliable).
     targets: list[RowPair]
     dst_addr: int
@@ -83,11 +83,12 @@ class RowCloneTechnique:
         self.use_oracle_testing = use_oracle_testing
         self.test_attempts = test_attempts
         self.stats = RowCloneStats()
-        self._reserved: set[tuple[int, int]] = set()
+        self._reserved: set[tuple[int, int, int]] = set()
 
     # -- clonability testing (mapping problem) -------------------------------------
 
-    def pair_is_clonable(self, bank: int, src_row: int, dst_row: int) -> bool:
+    def pair_is_clonable(self, bank: int, src_row: int, dst_row: int,
+                         channel: int = 0) -> bool:
         """Is (src, dst) clonable?  1000-copy test, per PiDRAM.
 
         The oracle path consults the cell model directly — it returns
@@ -97,20 +98,21 @@ class RowCloneTechnique:
         self.stats.pairs_tested += 1
         if self.geometry.subarray_of(src_row) != self.geometry.subarray_of(dst_row):
             return False
-        cells = self.system.tile.cells
+        cells = self.system.channels[channel].tile.cells
         if self.use_oracle_testing:
             return cells.rowclone_pair_reliable(bank, src_row, dst_row)
-        return self.test_pair_emulated(bank, src_row, dst_row)
+        return self.test_pair_emulated(bank, src_row, dst_row, channel=channel)
 
     def test_pair_emulated(self, bank: int, src_row: int, dst_row: int,
-                           attempts: int | None = None) -> bool:
+                           attempts: int | None = None,
+                           channel: int = 0) -> bool:
         """Run real test copies; a single corrupted copy disqualifies."""
-        device = self.system.device
+        device = self.system.device_for(channel)
         attempts = attempts if attempts is not None else self.test_attempts
         pattern = self._row_pattern(bank, src_row)
         device.preload_row(bank, src_row, pattern)
         for _ in range(attempts):
-            self._rowclone_op(bank, src_row, dst_row)
+            self._rowclone_op(bank, src_row, dst_row, channel=channel)
             if device.row_data(bank, dst_row) != pattern:
                 return False
         return True
@@ -126,12 +128,12 @@ class RowCloneTechnique:
         """Whole DRAM rows covering ``size_bytes`` (granularity problem)."""
         return -(-size_bytes // self.geometry.row_bytes)
 
-    def _phys_row(self, phys_addr: int) -> tuple[int, int]:
+    def _phys_row(self, phys_addr: int) -> tuple[int, int, int]:
         dram = self.mapper.to_dram(phys_addr)
-        return dram.bank, dram.row
+        return dram.channel, dram.bank, dram.row
 
-    def _reserve(self, bank: int, row: int) -> None:
-        self._reserved.add((bank, row))
+    def _reserve(self, channel: int, bank: int, row: int) -> None:
+        self._reserved.add((channel, bank, row))
 
     def plan_copy(self, size_bytes: int, base_addr: int = 0) -> CopyPlan:
         """Allocate clonable src/dst row pairs for an N-byte copy.
@@ -146,39 +148,45 @@ class RowCloneTechnique:
         pairs: list[RowPair] = []
         src_phys = base_addr - (base_addr % g.row_bytes)
         for i in range(n_rows):
-            bank, src_row = self._phys_row(src_phys + i * g.row_bytes)
-            self._reserve(bank, src_row)
-            dst_row = self._find_clonable_dst(bank, src_row)
+            channel, bank, src_row = self._phys_row(src_phys + i * g.row_bytes)
+            self._reserve(channel, bank, src_row)
+            dst_row = self._find_clonable_dst(bank, src_row, channel)
             if dst_row is None:
                 # No clonable partner in the subarray: CPU fallback row.
                 sub = g.subarray_of(src_row)
-                dst_row = self._first_free_row(bank, sub, avoid=src_row)
-                pairs.append(RowPair(bank, src_row, dst_row, reliable=False))
+                dst_row = self._first_free_row(bank, sub, avoid=src_row,
+                                               channel=channel)
+                pairs.append(RowPair(bank, src_row, dst_row, reliable=False,
+                                     channel=channel))
             else:
-                pairs.append(RowPair(bank, src_row, dst_row, reliable=True))
-            self._reserve(bank, dst_row)
-        dst_addr = self.mapper.row_base_physical(pairs[0].bank, pairs[0].dst_row)
+                pairs.append(RowPair(bank, src_row, dst_row, reliable=True,
+                                     channel=channel))
+            self._reserve(channel, bank, dst_row)
+        dst_addr = self.mapper.row_base_physical(
+            pairs[0].bank, pairs[0].dst_row, channel=pairs[0].channel)
         return CopyPlan(pairs=pairs, src_addr=src_phys,
                         dst_addr=dst_addr, size_bytes=size_bytes)
 
-    def _find_clonable_dst(self, bank: int, src_row: int) -> int | None:
+    def _find_clonable_dst(self, bank: int, src_row: int,
+                           channel: int = 0) -> int | None:
         g = self.geometry
         sub = g.subarray_of(src_row)
         first = sub * g.subarray_rows
         last = min(first + g.subarray_rows, g.rows_per_bank)
         for dst_row in range(first, last):
-            if dst_row == src_row or (bank, dst_row) in self._reserved:
+            if dst_row == src_row or (channel, bank, dst_row) in self._reserved:
                 continue
-            if self.pair_is_clonable(bank, src_row, dst_row):
+            if self.pair_is_clonable(bank, src_row, dst_row, channel=channel):
                 return dst_row
         return None
 
-    def _first_free_row(self, bank: int, subarray: int, avoid: int) -> int:
+    def _first_free_row(self, bank: int, subarray: int, avoid: int,
+                        channel: int = 0) -> int:
         g = self.geometry
         first = subarray * g.subarray_rows
         last = min(first + g.subarray_rows, g.rows_per_bank)
         for row in range(first, last):
-            if row != avoid and (bank, row) not in self._reserved:
+            if row != avoid and (channel, bank, row) not in self._reserved:
                 return row
         raise RuntimeError(f"subarray {subarray} of bank {bank} is full")
 
@@ -193,29 +201,33 @@ class RowCloneTechnique:
         g = self.geometry
         n_rows = self.rows_for(size_bytes)
         dst_phys = base_addr - (base_addr % g.row_bytes)
-        source_rows: dict[tuple[int, int], int] = {}
+        source_rows: dict[tuple[int, int, int], int] = {}
         targets: list[RowPair] = []
         for i in range(n_rows):
-            bank, target_row = self._phys_row(dst_phys + i * g.row_bytes)
-            self._reserve(bank, target_row)
+            channel, bank, target_row = self._phys_row(dst_phys + i * g.row_bytes)
+            self._reserve(channel, bank, target_row)
             sub = g.subarray_of(target_row)
-            key = (bank, sub)
+            key = (channel, bank, sub)
             if key not in source_rows:
-                source_rows[key] = self._first_free_row(bank, sub, avoid=target_row)
-                self._reserve(bank, source_rows[key])
+                source_rows[key] = self._first_free_row(
+                    bank, sub, avoid=target_row, channel=channel)
+                self._reserve(channel, bank, source_rows[key])
             src_row = source_rows[key]
-            reliable = self.pair_is_clonable(bank, src_row, target_row)
-            targets.append(RowPair(bank, src_row, target_row, reliable))
+            reliable = self.pair_is_clonable(bank, src_row, target_row,
+                                             channel=channel)
+            targets.append(RowPair(bank, src_row, target_row, reliable,
+                                   channel=channel))
         return InitPlan(source_rows=source_rows, targets=targets,
                         dst_addr=dst_phys, size_bytes=size_bytes)
 
     # -- execution -----------------------------------------------------------------
 
-    def _rowclone_op(self, bank: int, src_row: int, dst_row: int) -> None:
-        """One in-DRAM copy through the software memory controller."""
+    def _rowclone_op(self, bank: int, src_row: int, dst_row: int,
+                     channel: int = 0) -> None:
+        """One in-DRAM copy through that channel's memory controller."""
         self.session.technique_op(
             lambda api: api.rowclone(bank, src_row, dst_row),
-            respect_timing=False)
+            respect_timing=False, channel=channel)
         self.stats.rowclone_ops += 1
 
     def execute_copy(self, plan: CopyPlan, clflush: bool = False) -> None:
@@ -223,7 +235,8 @@ class RowCloneTechnique:
         g = self.geometry
         for i, pair in enumerate(plan.pairs):
             src_phys = plan.src_addr + i * g.row_bytes
-            dst_phys = self.mapper.row_base_physical(pair.bank, pair.dst_row)
+            dst_phys = self.mapper.row_base_physical(
+                pair.bank, pair.dst_row, channel=pair.channel)
             if clflush:
                 # Coherence problem: write back dirty source lines and
                 # invalidate stale destination lines before the in-DRAM op.
@@ -231,7 +244,8 @@ class RowCloneTechnique:
                     src_phys, g.row_bytes)
                 self.session.clflush_range(dst_phys, g.row_bytes)
             if pair.reliable:
-                self._rowclone_op(pair.bank, pair.src_row, pair.dst_row)
+                self._rowclone_op(pair.bank, pair.src_row, pair.dst_row,
+                                  channel=pair.channel)
             else:
                 self.stats.fallback_rows += 1
                 self.session.run_trace(
@@ -244,17 +258,20 @@ class RowCloneTechnique:
         if include_source_setup:
             # CPU-initialize one source row per subarray with the fill
             # pattern and push it to DRAM — RowClone copies DRAM contents.
-            for (bank, _sub), src_row in plan.source_rows.items():
-                src_phys = self.mapper.row_base_physical(bank, src_row)
+            for (channel, bank, _sub), src_row in plan.source_rows.items():
+                src_phys = self.mapper.row_base_physical(
+                    bank, src_row, channel=channel)
                 self.session.run_trace(cpu_init_blocks(src_phys, g.row_bytes))
                 self.stats.flushed_lines += self.session.clflush_range(
                     src_phys, g.row_bytes)
         for pair in plan.targets:
-            dst_phys = self.mapper.row_base_physical(pair.bank, pair.dst_row)
+            dst_phys = self.mapper.row_base_physical(
+                pair.bank, pair.dst_row, channel=pair.channel)
             if clflush:
                 self.session.clflush_range(dst_phys, g.row_bytes)
             if pair.reliable:
-                self._rowclone_op(pair.bank, pair.src_row, pair.dst_row)
+                self._rowclone_op(pair.bank, pair.src_row, pair.dst_row,
+                                  channel=pair.channel)
             else:
                 self.stats.fallback_rows += 1
                 self.session.run_trace(cpu_init_blocks(dst_phys, g.row_bytes))
@@ -263,11 +280,11 @@ class RowCloneTechnique:
 
     def copy_is_correct(self, plan: CopyPlan) -> bool:
         """Do all destination rows equal their source rows in DRAM?"""
-        device = self.system.device
         g = self.geometry
         for i, pair in enumerate(plan.pairs):
+            device = self.system.device_for(pair.channel)
             src = device.row_data(pair.bank,
-                                  self._phys_row(plan.src_addr + i * g.row_bytes)[1])
+                                  self._phys_row(plan.src_addr + i * g.row_bytes)[2])
             dst = device.row_data(pair.bank, pair.dst_row)
             if src != dst:
                 return False

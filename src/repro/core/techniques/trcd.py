@@ -58,16 +58,23 @@ class TrcdReductionTechnique:
         self.stats = TrcdStats()
         weak = characterization.weak_rows(threshold_ps=reduced_trcd_ps)
         # The filter is sized on the host and loaded into the controller
-        # before emulation begins (Section 8.2).
+        # before emulation begins (Section 8.2).  Every channel's cell
+        # model is built from the same configuration (and therefore the
+        # same per-row draws), so one characterization covers them all —
+        # keys carry the channel so distinct channels stay distinct in
+        # the filter regardless.
+        channels = system.config.geometry.channels
         self.bloom = BloomFilter.sized_for(
-            max(1, len(weak)), fp_rate=bloom_fp_rate, seed=bloom_seed)
-        for bank, row in weak:
-            self.bloom.add(self._key(bank, row))
+            max(1, len(weak) * channels), fp_rate=bloom_fp_rate,
+            seed=bloom_seed)
+        for channel in range(channels):
+            for bank, row in weak:
+                self.bloom.add(self._key(bank, row, channel))
         self._installed = False
 
     @staticmethod
-    def _key(bank: int, row: int) -> int:
-        return (bank << 32) | row
+    def _key(bank: int, row: int, channel: int = 0) -> int:
+        return (channel << 48) | (bank << 32) | row
 
     # -- controller integration ---------------------------------------------------
 
@@ -80,9 +87,9 @@ class TrcdReductionTechnique:
         self.system.smc.serve_hook = None
         self._installed = False
 
-    def trcd_for(self, bank: int, row: int) -> int:
+    def trcd_for(self, bank: int, row: int, channel: int = 0) -> int:
         """tRCD the controller will use when activating (bank, row)."""
-        if self._key(bank, row) in self.bloom:
+        if self._key(bank, row, channel) in self.bloom:
             return self.nominal_trcd_ps
         return self.reduced_trcd_ps
 
@@ -93,7 +100,7 @@ class TrcdReductionTechnique:
         state = api.tile.device.banks[dram.bank]
         if state.open_row != dram.row:
             api.charge(api.costs.bloom_check)
-            trcd = self.trcd_for(dram.bank, dram.row)
+            trcd = self.trcd_for(dram.bank, dram.row, dram.channel)
             if trcd < self.nominal_trcd_ps:
                 self.stats.reduced_acts += 1
             else:

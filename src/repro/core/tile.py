@@ -40,13 +40,19 @@ class TileStats:
 class EasyTile:
     """The EasyDRAM hardware tile: buffers, Bender, and the DRAM device."""
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig,
+                 mapper: AddressMapper | None = None,
+                 channel: int = 0) -> None:
         self.config = config
+        self.channel = channel
         self.cells = CellArrayModel(config.geometry, config.cells)
         self.device = DramDevice(
             config.timing, config.geometry, cells=self.cells,
             strict_timing=False)
-        self.mapper = AddressMapper(config.geometry, config.mapping_scheme)
+        #: Multi-channel systems share one topology-wide mapper across
+        #: every tile (the decode memo is then shared too).
+        self.mapper = mapper if mapper is not None else AddressMapper(
+            config.geometry, config.mapping_scheme)
         self.readback = ReadbackBuffer()
         self.command_buffer = CommandBuffer()
         self.engine = BenderEngine(self.device, readback=self.readback)

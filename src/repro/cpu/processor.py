@@ -49,6 +49,10 @@ class MemoryRequest:
     issue_index: int = 0        # instruction count at issue (window check)
     #: Filled in by the memory side for row-hit statistics.
     service_ps: int = 0
+    #: Memory channel the address decodes to (always 0 on the paper's
+    #: single-channel system); set at issue time so the channel router
+    #: never re-decodes.
+    channel: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = "WB" if self.is_writeback else ("ST" if self.is_write else "LD")
@@ -120,6 +124,12 @@ class Processor:
         #: the tile's :meth:`AddressMapper.prime`): called with each
         #: block's DRAM-bound addresses right after the cache filter.
         self.prime_hook = None
+        #: Optional address -> channel hook (wired by multi-channel
+        #: sessions to :meth:`AddressMapper.channel_of`).  Every DRAM
+        #: request — LLC-miss fill or writeback — is tagged with its
+        #: channel at issue time, before it enters the MLP gating window,
+        #: so the controller side routes without re-decoding.
+        self.channel_hook = None
         # Block-mode state: the block stream, the current block with its
         # precomputed cache traffic, and replay cursors into it.
         self._blocks: Iterator[AccessBlock] | None = None
@@ -216,6 +226,7 @@ class Processor:
         window = config.miss_window
         stats = self.stats
         rid = self._rid
+        channel_of = self.channel_hook
         # Hot counters hoisted into locals for the replay loop; every
         # exit path below writes them back through _sync_block_counters.
         cycles = self.cycles
@@ -335,9 +346,11 @@ class Processor:
                 cycles += lat[i]
                 while wb_ptr < n_wb and wb_idx[wb_ptr] == i:
                     stats.writeback_requests += 1
+                    wb_addr = wb_addrs[wb_ptr]
                     new_requests.append(MemoryRequest(
-                        rid=next(rid), addr=wb_addrs[wb_ptr], is_write=True,
-                        tag=cycles, is_writeback=True, issue_index=accesses))
+                        rid=next(rid), addr=wb_addr, is_write=True,
+                        tag=cycles, is_writeback=True, issue_index=accesses,
+                        channel=0 if channel_of is None else channel_of(wb_addr)))
                     wb_ptr += 1
                 fill = fills[i]
                 if fill >= 0:
@@ -345,7 +358,8 @@ class Processor:
                     request = MemoryRequest(
                         rid=next(rid), addr=fill,
                         is_write=bool(flag & FLAG_WRITE), tag=cycles,
-                        issue_index=accesses)
+                        issue_index=accesses,
+                        channel=0 if channel_of is None else channel_of(fill))
                     out.append(request)
                     new_requests.append(request)
                 i += 1
@@ -450,17 +464,21 @@ class Processor:
             stats.compute_cycles += access.gap
         traffic = self.hierarchy.access(access.addr, is_write)
         self.cycles += traffic.latency
+        channel_of = self.channel_hook
         for wb_addr in traffic.writebacks:
             stats.writeback_requests += 1
             new_requests.append(MemoryRequest(
                 rid=next(self._rid), addr=wb_addr, is_write=True,
                 tag=self.cycles, is_writeback=True,
-                issue_index=stats.accesses))
+                issue_index=stats.accesses,
+                channel=0 if channel_of is None else channel_of(wb_addr)))
         if traffic.fill_line is not None:
             stats.llc_miss_requests += 1
             request = MemoryRequest(
                 rid=next(self._rid), addr=traffic.fill_line,
                 is_write=is_write, tag=self.cycles,
-                issue_index=stats.accesses)
+                issue_index=stats.accesses,
+                channel=0 if channel_of is None
+                else channel_of(traffic.fill_line))
             self.outstanding.append(request)
             new_requests.append(request)

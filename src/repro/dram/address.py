@@ -1,19 +1,34 @@
 """Physical-address to DRAM-address translation.
 
 The memory controller translates processor physical addresses into
-``<bank, row, column>`` triplets (Section 2.3).  EasyAPI exposes the same
-mappers to user code so that, e.g., the RowClone allocator can reserve
-whole DRAM rows (Section 7.1, "alignment problem").
+``<channel, rank, bank, row, column>`` coordinates (Section 2.3).
+EasyAPI exposes the same mappers to user code so that, e.g., the
+RowClone allocator can reserve whole DRAM rows (Section 7.1, "alignment
+problem").
 
-Two mapping schemes are provided:
+The paper's evaluated system is a single channel / single rank of DDR4
+(footnote 5); that remains the default :class:`Geometry`.  The mapper
+additionally supports config-driven multi-channel / multi-rank
+topologies with pluggable channel-interleaving schemes:
 
 * ``row-bank-col`` ("RoBaCo"): consecutive rows map to the same bank; a
   row's bytes are contiguous in the physical address space.  This is the
   scheme the RowClone allocator prefers because whole rows are trivially
-  alignable.
+  alignable.  With more than one channel, channels are *channel-major*
+  (each channel owns a contiguous slab of the address space).
 * ``bank-interleaved`` ("BaRoCo" at cache-line granularity): consecutive
   cache lines rotate across banks, maximizing bank-level parallelism for
-  streaming workloads.
+  streaming workloads.  Channel-major like ``row-bank-col``.
+* ``channel-line``: consecutive cache lines rotate across channels
+  (maximum channel-level parallelism for streams); within a channel the
+  layout is ``row-bank-col``.
+* ``channel-row``: consecutive row-sized spans rotate across channels —
+  whole DRAM rows stay physically contiguous (RowClone-friendly) while
+  large footprints still spread over every channel.
+* ``channel-xor``: line-granularity channel interleaving with the
+  channel index hashed by higher address bits (the classic XOR channel
+  hash), which keeps power-of-two-strided streams from camping on one
+  channel.
 """
 
 from __future__ import annotations
@@ -25,12 +40,13 @@ import numpy as np
 
 @dataclass(frozen=True)
 class Geometry:
-    """Shape of the modeled single-channel, single-rank DRAM system.
+    """Shape of the modeled memory system (channels x ranks x banks).
 
     The paper's system is a single channel / single rank of DDR4 with 4
     bank groups x 4 banks and 32K rows (footnote 5); the default geometry
     here scales the row count down for tractable experiments while tests
-    cover the full-size configuration too.
+    cover the full-size configuration too.  ``channels`` and ``ranks``
+    default to 1, which reproduces the paper's topology exactly.
     """
 
     bank_groups: int = 4
@@ -39,10 +55,13 @@ class Geometry:
     columns_per_row: int = 128       # cache lines per row
     line_bytes: int = 64
     subarray_rows: int = 512
+    ranks: int = 1                   # ranks per channel
+    channels: int = 1
 
     def __post_init__(self) -> None:
         for name in ("bank_groups", "banks_per_group", "rows_per_bank",
-                     "columns_per_row", "line_bytes", "subarray_rows"):
+                     "columns_per_row", "line_bytes", "subarray_rows",
+                     "ranks", "channels"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
         if self.subarray_rows > self.rows_per_bank:
@@ -50,8 +69,28 @@ class Geometry:
 
     @property
     def num_banks(self) -> int:
-        """Total banks in the rank (groups x banks per group)."""
+        """Banks in one rank (groups x banks per group)."""
         return self.bank_groups * self.banks_per_group
+
+    @property
+    def banks_per_rank(self) -> int:
+        """Alias of :attr:`num_banks` (banks in one rank)."""
+        return self.num_banks
+
+    @property
+    def total_banks(self) -> int:
+        """Banks in one channel across all of its ranks.
+
+        Channel-local state (device bank arrays, flat timing state) is
+        indexed by this flat bank index; rank ``r`` owns the contiguous
+        slice ``[r * num_banks, (r + 1) * num_banks)``.
+        """
+        return self.ranks * self.num_banks
+
+    @property
+    def total_bank_groups(self) -> int:
+        """Bank groups in one channel across all of its ranks."""
+        return self.ranks * self.bank_groups
 
     @property
     def row_bytes(self) -> int:
@@ -64,9 +103,14 @@ class Geometry:
         return self.rows_per_bank * self.row_bytes
 
     @property
+    def channel_bytes(self) -> int:
+        """Bytes in one channel (all ranks)."""
+        return self.total_banks * self.bank_bytes
+
+    @property
     def total_bytes(self) -> int:
-        """Bytes in the modeled rank."""
-        return self.num_banks * self.bank_bytes
+        """Bytes in the whole modeled memory system (all channels)."""
+        return self.channels * self.channel_bytes
 
     @property
     def subarrays_per_bank(self) -> int:
@@ -74,8 +118,18 @@ class Geometry:
         return -(-self.rows_per_bank // self.subarray_rows)
 
     def bank_group_of(self, bank: int) -> int:
-        """Bank group index for a flat bank index."""
+        """Bank-group index for a channel-local flat bank index.
+
+        Group ids are unique across ranks (rank ``r``'s groups occupy
+        ``[r * bank_groups, (r + 1) * bank_groups)``), so same-group
+        timing constraints (tCCD_L/tRRD_L) never couple banks of
+        different ranks.
+        """
         return bank // self.banks_per_group
+
+    def rank_of(self, bank: int) -> int:
+        """Rank index for a channel-local flat bank index."""
+        return bank // self.num_banks
 
     def subarray_of(self, row: int) -> int:
         """Subarray index of a row (RowClone is intra-subarray only)."""
@@ -84,14 +138,24 @@ class Geometry:
 
 @dataclass(frozen=True, slots=True)
 class DramAddress:
-    """A fully decoded DRAM coordinate (single channel / rank modeled)."""
+    """A fully decoded DRAM coordinate.
+
+    ``bank`` is the channel-local *flat* bank index (rank-major:
+    ``rank * banks_per_rank + bank_in_rank``), which is what the
+    per-channel device and controller index their state by; ``rank`` and
+    ``channel`` carry the topology coordinates explicitly.  The paper's
+    single-channel / single-rank system always has ``channel == rank
+    == 0``.
+    """
 
     bank: int
     row: int
     col: int
+    channel: int = 0
+    rank: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<b{self.bank} r{self.row} c{self.col}>"
+        return f"<ch{self.channel} rk{self.rank} b{self.bank} r{self.row} c{self.col}>"
 
 
 class AddressMapper:
@@ -101,15 +165,40 @@ class AddressMapper:
     by a hash of the row, the standard controller trick that keeps
     power-of-two-strided streams (e.g. a copy's source and destination
     arrays) from ping-ponging between two rows of one bank.
+
+    ``strict`` (default on) raises on physical addresses beyond the
+    topology's capacity instead of silently wrapping them — silent
+    aliasing turned out-of-range workload footprints into impossible
+    row-buffer behavior.  ``strict=False`` restores the wrap for callers
+    that genuinely model a smaller-than-address-space window.
+
+    The per-address decode memo is capped at :attr:`DECODE_CACHE_LIMIT`
+    entries so multi-channel-scale footprints cannot grow it without
+    bound; past the cap, decodes simply recompute (the bulk
+    :meth:`prime` path is unaffected for everything under the cap).
     """
 
-    SCHEMES = ("row-bank-col", "row-bank-col-skew", "bank-interleaved")
+    SCHEMES = ("row-bank-col", "row-bank-col-skew", "bank-interleaved",
+               "channel-line", "channel-row", "channel-xor")
 
-    def __init__(self, geometry: Geometry, scheme: str = "row-bank-col") -> None:
+    #: Channel-interleaving schemes (within-channel layout is row-major).
+    CHANNEL_SCHEMES = ("channel-line", "channel-row", "channel-xor")
+
+    #: Decoded-address memo cap (entries).  1M entries cover a 64 MiB
+    #: footprint of 64-byte lines — far beyond every experiment sweep —
+    #: while bounding the memo's host memory on pathological traces.
+    DECODE_CACHE_LIMIT = 1 << 20
+
+    def __init__(self, geometry: Geometry, scheme: str = "row-bank-col",
+                 strict: bool = True,
+                 cache_limit: int | None = None) -> None:
         if scheme not in self.SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r}; known: {self.SCHEMES}")
         self.geometry = geometry
         self.scheme = scheme
+        self.strict = strict
+        self.cache_limit = (self.DECODE_CACHE_LIMIT if cache_limit is None
+                            else cache_limit)
         # Decoded-address memo: workloads revisit the same cache lines
         # (pointer chases loop, kernels stream repeatedly), the decode is
         # pure, and DramAddress is frozen — so sharing instances is safe.
@@ -120,19 +209,67 @@ class AddressMapper:
         self._total_bytes = geometry.total_bytes
         self._line_bytes = geometry.line_bytes
         self._columns = geometry.columns_per_row
-        self._num_banks = geometry.num_banks
+        self._num_banks = geometry.total_banks
+        self._banks_per_rank = geometry.num_banks
         self._rows = geometry.rows_per_bank
-        self._row_major = scheme in ("row-bank-col", "row-bank-col-skew")
+        self._channels = geometry.channels
+        self._lines_per_channel = geometry.channel_bytes // geometry.line_bytes
+        self._row_major = scheme != "bank-interleaved"
         self._skewed = scheme == "row-bank-col-skew"
+        self._ch_mode = scheme if scheme in self.CHANNEL_SCHEMES else None
+        # XOR channel hash: true XOR for power-of-two channel counts,
+        # additive skew otherwise (both are invertible per base line).
+        self._ch_pow2 = (self._channels & (self._channels - 1)) == 0
+
+    # -- decode ------------------------------------------------------------
+
+    def _check_range(self, phys_addr: int) -> int:
+        """Range-check (strict) or wrap (permissive) a byte address."""
+        if phys_addr < 0:
+            raise ValueError(f"negative physical address {phys_addr:#x}")
+        if phys_addr >= self._total_bytes:
+            if self.strict:
+                raise ValueError(
+                    f"physical address {phys_addr:#x} beyond the"
+                    f" {self._total_bytes:#x}-byte topology"
+                    f" (pass strict=False to the AddressMapper to wrap)")
+            return phys_addr % self._total_bytes
+        return phys_addr
+
+    def _split_channel(self, line: int) -> tuple[int, int]:
+        """Split a global line index into (channel, within-channel line)."""
+        if self._channels == 1:
+            return 0, line
+        mode = self._ch_mode
+        if mode is None:  # legacy schemes: channel-major slabs
+            return line // self._lines_per_channel, line % self._lines_per_channel
+        if mode == "channel-line":
+            return line % self._channels, line // self._channels
+        if mode == "channel-row":
+            span, col_part = divmod(line, self._columns)
+            ch = span % self._channels
+            return ch, (span // self._channels) * self._columns + col_part
+        # channel-xor
+        base, slot = divmod(line, self._channels)
+        h = self._channel_hash(base)
+        if self._ch_pow2:
+            ch = slot ^ (h & (self._channels - 1))
+        else:
+            ch = (slot + h) % self._channels
+        return ch, base
+
+    @staticmethod
+    def _channel_hash(base: int) -> int:
+        """Line-index hash feeding the XOR channel interleave."""
+        return base ^ (base >> 3) ^ (base >> 7)
 
     def to_dram(self, phys_addr: int) -> DramAddress:
         """Decode a physical byte address into a DRAM coordinate."""
         cached = self._decode_cache.get(phys_addr)
         if cached is not None:
             return cached
-        if phys_addr < 0:
-            raise ValueError(f"negative physical address {phys_addr:#x}")
-        line = (phys_addr % self._total_bytes) // self._line_bytes
+        line = self._check_range(phys_addr) // self._line_bytes
+        channel, line = self._split_channel(line)
         if self._row_major:
             col = line % self._columns
             block = line // self._columns
@@ -145,9 +282,18 @@ class AddressMapper:
             line //= self._num_banks
             col = line % self._columns
             row = (line // self._columns) % self._rows
-        decoded = DramAddress(bank=bank, row=row, col=col)
-        self._decode_cache[phys_addr] = decoded
+        decoded = DramAddress(bank=bank, row=row, col=col, channel=channel,
+                              rank=bank // self._banks_per_rank)
+        if len(self._decode_cache) < self.cache_limit:
+            self._decode_cache[phys_addr] = decoded
         return decoded
+
+    def channel_of(self, phys_addr: int) -> int:
+        """Channel index of a physical byte address (no full decode)."""
+        line = self._check_range(phys_addr) // self._line_bytes
+        if self._channels == 1:
+            return 0
+        return self._split_channel(line)[0]
 
     @staticmethod
     def _skew(row: int) -> int:
@@ -161,15 +307,49 @@ class AddressMapper:
         moment the cache filter returns, so the decode math runs once
         over a NumPy array instead of per request; negative entries
         (the block path's "no fill" sentinel) are skipped.  Decoded
-        values are exactly :meth:`to_dram`'s.
+        values are exactly :meth:`to_dram`'s; entries past the memo cap
+        are skipped (they recompute on demand).
         """
         cache = self._decode_cache
+        room = self.cache_limit - len(cache)
+        if room <= 0:
+            return
         missing = [a for addrs in addr_lists for a in addrs
                    if a >= 0 and a not in cache]
         if not missing:
             return
+        if len(missing) > room:
+            missing = missing[:room]
+        if self.strict:
+            worst = max(missing)
+            if worst >= self._total_bytes:
+                # Re-raise through the scalar path for the exact message.
+                self._check_range(worst)
         arr = np.asarray(missing, dtype=np.int64)
         line = (arr % self._total_bytes) // self._line_bytes
+        channels = self._channels
+        if channels == 1:
+            channel = np.zeros(len(missing), dtype=np.int64)
+        elif self._ch_mode is None:
+            channel = line // self._lines_per_channel
+            line = line % self._lines_per_channel
+        elif self._ch_mode == "channel-line":
+            channel = line % channels
+            line = line // channels
+        elif self._ch_mode == "channel-row":
+            span = line // self._columns
+            col_part = line % self._columns
+            channel = span % channels
+            line = (span // channels) * self._columns + col_part
+        else:  # channel-xor
+            base = line // channels
+            slot = line % channels
+            h = base ^ (base >> 3) ^ (base >> 7)
+            if self._ch_pow2:
+                channel = slot ^ (h & (channels - 1))
+            else:
+                channel = (slot + h) % channels
+            line = base
         if self._row_major:
             col = line % self._columns
             block = line // self._columns
@@ -182,38 +362,74 @@ class AddressMapper:
             line //= self._num_banks
             col = line % self._columns
             row = (line // self._columns) % self._rows
-        for a, b, r, c in zip(missing, bank.tolist(), row.tolist(),
-                              col.tolist()):
-            cache[a] = DramAddress(b, r, c)
+        rank = bank // self._banks_per_rank
+        for a, b, r, c, ch, rk in zip(missing, bank.tolist(), row.tolist(),
+                                      col.tolist(), channel.tolist(),
+                                      rank.tolist()):
+            cache[a] = DramAddress(b, r, c, ch, rk)
+
+    # -- encode ------------------------------------------------------------
 
     def to_physical(self, addr: DramAddress) -> int:
         """Encode a DRAM coordinate back into a physical byte address."""
         g = self.geometry
         self._check(addr)
-        if self.scheme in ("row-bank-col", "row-bank-col-skew"):
+        num_banks = self._num_banks
+        if self._row_major:
             bank = addr.bank
-            if self.scheme == "row-bank-col-skew":
-                bank = (bank - self._skew(addr.row)) % g.num_banks
-            line = (addr.row * g.num_banks + bank) * g.columns_per_row + addr.col
+            if self._skewed:
+                bank = (bank - self._skew(addr.row)) % num_banks
+            line = (addr.row * num_banks + bank) * self._columns + addr.col
         else:
-            line = (addr.row * g.columns_per_row + addr.col) * g.num_banks + addr.bank
+            line = (addr.row * self._columns + addr.col) * num_banks + addr.bank
+        channels = self._channels
+        if channels > 1:
+            mode = self._ch_mode
+            if mode is None:
+                line = addr.channel * self._lines_per_channel + line
+            elif mode == "channel-line":
+                line = line * channels + addr.channel
+            elif mode == "channel-row":
+                span_in, col_part = divmod(line, self._columns)
+                line = (span_in * channels + addr.channel) * self._columns \
+                    + col_part
+            else:  # channel-xor
+                h = self._channel_hash(line)
+                if self._ch_pow2:
+                    slot = addr.channel ^ (h & (channels - 1))
+                else:
+                    slot = (addr.channel - h) % channels
+                line = line * channels + slot
         return line * g.line_bytes
 
-    def row_base_physical(self, bank: int, row: int) -> int:
+    def row_base_physical(self, bank: int, row: int, channel: int = 0) -> int:
         """Physical address of the first byte of a DRAM row."""
-        return self.to_physical(DramAddress(bank=bank, row=row, col=0))
+        return self.to_physical(DramAddress(
+            bank=bank, row=row, col=0, channel=channel,
+            rank=bank // self._banks_per_rank))
 
     def row_is_contiguous(self) -> bool:
         """Whether a DRAM row occupies contiguous physical addresses."""
-        return self.scheme in ("row-bank-col", "row-bank-col-skew")
+        if self.scheme == "bank-interleaved":
+            return False
+        if self._channels > 1 and self._ch_mode in ("channel-line",
+                                                    "channel-xor"):
+            return False
+        return True
 
     def _check(self, addr: DramAddress) -> None:
         """Range-check a DRAM coordinate against the geometry."""
         g = self.geometry
-        if not (0 <= addr.bank < g.num_banks):
-            raise ValueError(f"bank {addr.bank} out of range 0..{g.num_banks - 1}")
+        if not (0 <= addr.bank < self._num_banks):
+            raise ValueError(
+                f"bank {addr.bank} out of range 0..{self._num_banks - 1}")
         if not (0 <= addr.row < g.rows_per_bank):
             raise ValueError(f"row {addr.row} out of range 0..{g.rows_per_bank - 1}")
         if not (0 <= addr.col < g.columns_per_row):
             raise ValueError(
                 f"col {addr.col} out of range 0..{g.columns_per_row - 1}")
+        if not (0 <= addr.channel < self._channels):
+            raise ValueError(
+                f"channel {addr.channel} out of range 0..{self._channels - 1}")
+        if not (0 <= addr.rank < g.ranks):
+            raise ValueError(f"rank {addr.rank} out of range 0..{g.ranks - 1}")

@@ -91,8 +91,18 @@ class DramDevice:
         self.timing = timing
         self.geometry = geometry
         self.cells = cells or CellArrayModel(geometry)
-        self.banks = [BankState(i) for i in range(geometry.num_banks)]
-        self.rank = RankState()
+        # One channel's worth of state: ranks are flattened into the bank
+        # dimension (rank r owns banks [r*num_banks, (r+1)*num_banks)).
+        self.banks = [BankState(i) for i in range(geometry.total_banks)]
+        self.ranks = [RankState() for _ in range(geometry.ranks)]
+        #: Single-rank alias (rank 0); multi-rank callers index `ranks`.
+        self.rank = self.ranks[0]
+        self._rank_of = tuple(geometry.rank_of(b)
+                              for b in range(geometry.total_banks))
+        #: What the timing checker receives as rank state: the bare
+        #: RankState on the paper's single-rank topology (bit-identical
+        #: call shape), the per-rank list otherwise.
+        self.checker_rank = self.rank if geometry.ranks == 1 else self.ranks
         #: Array-native twin of the bank/rank state, updated on every
         #: command; the fast issue path answers timing queries from it.
         self.flat = FlatTimingState(timing, geometry)
@@ -133,7 +143,7 @@ class DramDevice:
                 f"command stream went backwards: {time_ps} < {self._last_issue_ps}")
         self._last_issue_ps = time_ps
         self._validate(cmd)
-        self.checker.check(cmd, time_ps, self.banks, self.rank)
+        self.checker.check(cmd, time_ps, self.banks, self.checker_rank)
         self.stats.count(cmd.kind)
         return self._handlers[cmd.kind](cmd, time_ps)
 
@@ -160,7 +170,8 @@ class DramDevice:
                 f"command stream went backwards: {time_ps} < {self._last_issue_ps}")
         self._last_issue_ps = time_ps
         if not precleared:
-            self.checker.check_fast(cmd, time_ps, self.banks, self.rank)
+            self.checker.check_fast(cmd, time_ps, self.banks,
+                                    self.checker_rank)
         self.stats.count(cmd.kind)
         kind = cmd.kind
         if kind is CommandKind.RD:
@@ -222,7 +233,7 @@ class DramDevice:
             # Bit-identical violation handling (record or strict raise).
             ck = _KIND_OF_CODE[kind]
             self.checker.check(Command(ck, bank=bank_index, row=row, col=col),
-                               time_ps, self.banks, self.rank)
+                               time_ps, self.banks, self.checker_rank)
         commands = self.stats.commands
         name = KIND_NAMES[kind]
         commands[name] = commands.get(name, 0) + 1
@@ -258,7 +269,8 @@ class DramDevice:
             bank = self.banks[bank_index]
             self._maybe_rowclone(bank, row, time_ps)
             bank.activate(row, time_ps)
-            self.rank.record_act(time_ps, self.timing.tFAW)
+            self.ranks[self._rank_of[bank_index]].record_act(
+                time_ps, self.timing.tFAW)
             flat.act(bank_index, row, time_ps)
         elif kind == K_PRE:
             self.banks[bank_index].precharge(time_ps)
@@ -268,8 +280,9 @@ class DramDevice:
                 bank.precharge(time_ps)
             flat.prea(time_ps)
         elif kind == K_REF:
-            self.rank.last_ref = time_ps
-            self.rank.refresh_epoch_ps = time_ps
+            for rank_state in self.ranks:
+                rank_state.last_ref = time_ps
+                rank_state.refresh_epoch_ps = time_ps
             flat.ref(time_ps)
         else:
             raise ValueError(f"unknown flat command kind {kind}")
@@ -405,7 +418,7 @@ class DramDevice:
                     ck = _KIND_OF_CODE[kind]
                     self.checker.check(
                         Command(ck, bank=bank_index, row=row, col=col),
-                        t, self.banks, self.rank)
+                        t, self.banks, self.checker_rank)
             first = False
             name = KIND_NAMES[kind]
             commands[name] = get(name, 0) + 1
@@ -442,7 +455,7 @@ class DramDevice:
                 # rank.record_act, in place: timestamps are monotonic,
                 # so the window filter is a drop-from-front (same list
                 # contents as the reference's rebuild).
-                rank_acts = self.rank.recent_acts
+                rank_acts = self.ranks[self._rank_of[bank_index]].recent_acts
                 rank_acts.append(t)
                 while rank_acts[0] <= cutoff:
                     rank_acts.pop(0)
@@ -497,7 +510,7 @@ class DramDevice:
         bank = self.banks[cmd.bank]
         self._maybe_rowclone(bank, cmd.row, t)
         bank.activate(cmd.row, t)
-        self.rank.record_act(t, self.timing.tFAW)
+        self.ranks[self._rank_of[cmd.bank]].record_act(t, self.timing.tFAW)
         self.flat.act(cmd.bank, cmd.row, t)
         return None
 
@@ -555,9 +568,10 @@ class DramDevice:
         return None
 
     def _do_ref(self, cmd: Command, t: int) -> None:
-        """REF: refresh the rank, resetting the retention epoch."""
-        self.rank.last_ref = t
-        self.rank.refresh_epoch_ps = t
+        """REF: refresh every rank, resetting the retention epoch."""
+        for rank_state in self.ranks:
+            rank_state.last_ref = t
+            rank_state.refresh_epoch_ps = t
         self.flat.ref(t)
         return None
 
@@ -652,7 +666,7 @@ class DramDevice:
     def _validate(self, cmd: Command) -> None:
         """Range-check the command's bank/row/column coordinates."""
         g = self.geometry
-        if cmd.targets_bank and not (0 <= cmd.bank < g.num_banks):
+        if cmd.targets_bank and not (0 <= cmd.bank < g.total_banks):
             raise ValueError(f"bank {cmd.bank} out of range for {cmd.short()}")
         if cmd.kind is CommandKind.ACT and not (0 <= cmd.row < g.rows_per_bank):
             raise ValueError(f"row {cmd.row} out of range for {cmd.short()}")
@@ -664,6 +678,9 @@ class DramDevice:
         """Power-cycle: bank state cleared, data retained (like a warm boot)."""
         for bank in self.banks:
             bank.reset()
-        self.rank = RankState()
+        self.ranks = [RankState() for _ in self.ranks]
+        self.rank = self.ranks[0]
+        self.checker_rank = (self.rank if self.geometry.ranks == 1
+                             else self.ranks)
         self.flat.reset()
         self._last_issue_ps = -1

@@ -67,13 +67,27 @@ class FlatTimingState:
     def __init__(self, timing: TimingParams, geometry: Geometry) -> None:
         self.timing = timing
         self.geometry = geometry
-        self.num_banks = geometry.num_banks
-        self.num_groups = geometry.bank_groups
+        self.num_banks = geometry.total_banks
+        self.num_groups = geometry.total_bank_groups
         self.group_of = tuple(geometry.bank_group_of(b)
                               for b in range(self.num_banks))
+        # Rank topology: flat bank index rank-major, so rank r owns the
+        # contiguous slice [r * banks_per_rank, (r + 1) * banks_per_rank).
+        self.num_ranks = geometry.ranks
+        self.multi_rank = geometry.ranks > 1
+        self.rank_of = tuple(geometry.rank_of(b) for b in range(self.num_banks))
+        self._banks_per_rank = geometry.num_banks
+        #: Per-rank tFAW windows (multi-rank only; rank 0 aliases the
+        #: channel-wide deque in the single-rank layout).
+        self.rank_recent_acts: list[deque[int]] = [
+            deque() for _ in range(self.num_ranks)]
         # The group-maximum tRRD shortcut is exact only while a bank's
         # own tRC bound dominates its tRRD bound (see module docstring).
-        self._rrd_by_group = (timing.tRRD_L <= timing.tRC
+        # Both aggregate shortcuts mix banks of every rank, so they are
+        # only usable on single-rank topologies; multi-rank queries take
+        # the explicit rank-aware scans below.
+        self._rrd_by_group = (not self.multi_rank
+                              and timing.tRRD_L <= timing.tRC
                               and timing.tRRD_S <= timing.tRC)
         # Two-term reduction of the per-group scans: with the short
         # (other-group) gap no larger than the long (same-group) gap,
@@ -85,7 +99,8 @@ class FlatTimingState:
         # short-gap answer, and every remaining short term is smaller).
         self._rrd_two_term = (self._rrd_by_group
                               and timing.tRRD_S <= timing.tRRD_L)
-        self._ccd_two_term = timing.tCCD_S <= timing.tCCD_L
+        self._ccd_two_term = (not self.multi_rank
+                              and timing.tCCD_S <= timing.tCCD_L)
         n = self.num_banks
         g = self.num_groups
         self.last_act = [NEVER] * n
@@ -123,6 +138,8 @@ class FlatTimingState:
         self.max_pre = NEVER
         self.open_count = 0
         self.recent_acts.clear()
+        for acts in self.rank_recent_acts:
+            acts.clear()
         self.last_ref = NEVER
 
     # -- state updates (called by the device on every command) --------------
@@ -142,6 +159,11 @@ class FlatTimingState:
         cutoff = t - self.timing.tFAW
         while acts and acts[0] <= cutoff:
             acts.popleft()
+        if self.multi_rank:
+            racts = self.rank_recent_acts[self.rank_of[bank]]
+            racts.append(t)
+            while racts and racts[0] <= cutoff:
+                racts.popleft()
 
     def pre(self, bank: int, t: int) -> None:
         row = self.open_row[bank]
@@ -190,6 +212,8 @@ class FlatTimingState:
         """
         t = self.timing
         e = 0
+        if self.multi_rank and kind in (K_ACT, K_RD, K_WR):
+            return self._earliest_multi_rank(kind, bank)
         if kind == K_ACT:
             e = self.last_act[bank] + t.tRC
             v = self.last_pre[bank] + t.tRP
@@ -277,4 +301,77 @@ class FlatTimingState:
                 e = v
             if self.open_count:
                 e = _FAR_FUTURE
+        return e if e > 0 else 0
+
+    def _earliest_multi_rank(self, kind: int, bank: int) -> int:
+        """Rank-aware earliest-time query (topologies with ranks > 1).
+
+        tRRD/tFAW and tCCD/tWTR couple banks *within* a rank; commands
+        to different ranks only see the rank-to-rank bus turnaround
+        ``tCS`` after another rank's column access (and, for reads, the
+        end of another rank's write burst).  REF refreshes all ranks of
+        the channel at once, so tRFC still reads the channel-wide
+        ``last_ref``.
+        """
+        t = self.timing
+        rk = self.rank_of[bank]
+        bpr = self._banks_per_rank
+        lo = rk * bpr
+        hi = lo + bpr
+        last_act = self.last_act
+        if kind == K_ACT:
+            e = last_act[bank] + t.tRC
+            v = self.last_pre[bank] + t.tRP
+            if v > e:
+                e = v
+            grp = self.group_of[bank]
+            group_of = self.group_of
+            rrd_l, rrd_s = t.tRRD_L, t.tRRD_S
+            for other in range(lo, hi):
+                if other == bank:
+                    continue
+                v = last_act[other] + (rrd_l if group_of[other] == grp
+                                       else rrd_s)
+                if v > e:
+                    e = v
+            acts = self.rank_recent_acts[rk]
+            if len(acts) >= 4:
+                v = acts[len(acts) - 4] + t.tFAW
+                if v > e:
+                    e = v
+            v = self.last_ref + t.tRFC
+            if v > e:
+                e = v
+        else:  # K_RD / K_WR
+            e = last_act[bank] + t.tRCD
+            grp = self.group_of[bank]
+            group_of = self.group_of
+            last_read = self.last_read
+            last_write = self.last_write
+            last_write_end = self.last_write_end
+            ccd_l, ccd_s, tcs = t.tCCD_L, t.tCCD_S, t.tCS
+            is_read = kind == K_RD
+            twtr = t.tWTR
+            for other in range(self.num_banks):
+                last_cas = last_read[other]
+                w = last_write[other]
+                if w > last_cas:
+                    last_cas = w
+                if lo <= other < hi:
+                    gap = ccd_l if group_of[other] == grp else ccd_s
+                    v = last_cas + gap
+                    if v > e:
+                        e = v
+                    if is_read:
+                        v = last_write_end[other] + twtr
+                        if v > e:
+                            e = v
+                else:
+                    v = last_cas + tcs
+                    if v > e:
+                        e = v
+                    if is_read:
+                        v = last_write_end[other] + tcs
+                        if v > e:
+                            e = v
         return e if e > 0 else 0

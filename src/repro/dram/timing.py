@@ -92,6 +92,8 @@ class TimingParams:
     tRFC: int           # REF -> any command
     tREFI: int          # average refresh command interval
     tREFW: int          # refresh window (retention requirement)
+    # Inter-rank (only consulted by multi-rank topologies)
+    tCS: int = 0        # CAS -> CAS rank-to-rank bus turnaround
 
     @property
     def read_latency(self) -> int:
@@ -146,6 +148,7 @@ def ddr4_1333() -> TimingParams:
         tRFC=ns(350.0),
         tREFI=us(7.8),
         tREFW=ms(64.0),
+        tCS=2 * tck,
     )
 
 
@@ -174,6 +177,7 @@ def ddr4_2400() -> TimingParams:
         tRFC=ns(350.0),
         tREFI=us(7.8),
         tREFW=ms(64.0),
+        tCS=2 * tck,
     )
 
 

@@ -86,24 +86,40 @@ class TimingChecker:
     violations: list[ViolationRecord] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        # Precomputed bank -> bank-group table so the batched query path
-        # never calls into the geometry per bank.
+        # Precomputed bank -> bank-group / rank tables so the batched
+        # query path never calls into the geometry per bank.
+        n = self.geometry.total_banks
         self._group_of = tuple(
-            self.geometry.bank_group_of(b)
-            for b in range(self.geometry.num_banks))
+            self.geometry.bank_group_of(b) for b in range(n))
+        self._rank_of = tuple(self.geometry.rank_of(b) for b in range(n))
+        self._multi_rank = self.geometry.ranks > 1
+
+    @staticmethod
+    def _rank_states(rank) -> tuple[RankState, ...]:
+        """Normalize the rank argument (one state or one per rank)."""
+        if isinstance(rank, RankState):
+            return (rank,)
+        return tuple(rank)
+
+    def _same_rank(self, bank_a: int, bank_b: int) -> bool:
+        return self._rank_of[bank_a] == self._rank_of[bank_b]
 
     def earliest_issue(self, cmd: Command, banks: list[BankState],
                        rank: RankState) -> tuple[int, str]:
         """Earliest legal issue time for ``cmd`` and the binding constraint."""
         t = self.timing
+        rank_states = self._rank_states(rank)
         candidates: list[_Constraint] = [_Constraint(0, "power-on")]
         if cmd.kind is CommandKind.ACT:
             bank = banks[cmd.bank]
             candidates.append(_Constraint(bank.last_act + t.tRC, "tRC"))
             candidates.append(_Constraint(bank.last_pre + t.tRP, "tRP"))
             candidates.extend(self._act_to_act(cmd, banks))
-            candidates.append(self._faw(rank))
-            candidates.append(_Constraint(rank.last_ref + t.tRFC, "tRFC"))
+            own_rank = rank_states[min(self._rank_of[cmd.bank],
+                                       len(rank_states) - 1)]
+            candidates.append(self._faw(own_rank))
+            candidates.append(_Constraint(
+                self._last_ref(rank_states) + t.tRFC, "tRFC"))
         elif cmd.kind in (CommandKind.PRE, CommandKind.PREA):
             targets = banks if cmd.kind is CommandKind.PREA else [banks[cmd.bank]]
             for bank in targets:
@@ -116,7 +132,12 @@ class TimingChecker:
             candidates.append(_Constraint(bank.last_act + t.tRCD, "tRCD"))
             candidates.extend(self._cas_to_cas(cmd, banks))
             candidates.append(
-                _Constraint(self._last_write_end(banks) + t.tWTR, "tWTR"))
+                _Constraint(self._last_write_end(cmd.bank, banks, same_rank=True)
+                            + t.tWTR, "tWTR"))
+            if self._multi_rank:
+                candidates.append(_Constraint(
+                    self._last_write_end(cmd.bank, banks, same_rank=False)
+                    + t.tCS, "tCS"))
         elif cmd.kind is CommandKind.WR:
             bank = banks[cmd.bank]
             candidates.append(_Constraint(bank.last_act + t.tRCD, "tRCD"))
@@ -127,7 +148,8 @@ class TimingChecker:
                 if bank.is_open:
                     # All banks must be precharged before refresh.
                     candidates.append(_Constraint((1 << 62), "banks-open"))
-            candidates.append(_Constraint(rank.last_ref + t.tRFC, "tRFC"))
+            candidates.append(_Constraint(
+                self._last_ref(rank_states) + t.tRFC, "tRFC"))
         binding = max(candidates, key=lambda c: c.earliest_ps)
         return binding.earliest_ps, binding.name
 
@@ -167,6 +189,9 @@ class TimingChecker:
         """
         t = self.timing
         kind = cmd.kind
+        rank_states = self._rank_states(rank)
+        multi_rank = self._multi_rank
+        rank_of = self._rank_of
         e = 0  # the "power-on" floor
         if kind is CommandKind.ACT:
             bank = banks[cmd.bank]
@@ -176,21 +201,24 @@ class TimingChecker:
                 e = v
             group_of = self._group_of
             grp = group_of[cmd.bank]
+            own_rank = rank_of[cmd.bank]
             rrd_l, rrd_s = t.tRRD_L, t.tRRD_S
             self_index = cmd.bank
             for other in banks:
                 if other.index == self_index:
                     continue
+                if multi_rank and rank_of[other.index] != own_rank:
+                    continue
                 gap = rrd_l if group_of[other.index] == grp else rrd_s
                 v = other.last_act + gap
                 if v > e:
                     e = v
-            acts = rank.recent_acts
+            acts = rank_states[min(own_rank, len(rank_states) - 1)].recent_acts
             if len(acts) >= 4:
                 v = sorted(acts)[-4] + t.tFAW
                 if v > e:
                     e = v
-            v = rank.last_ref + t.tRFC
+            v = self._last_ref(rank_states) + t.tRFC
             if v > e:
                 e = v
         elif kind in (CommandKind.PRE, CommandKind.PREA):
@@ -211,12 +239,21 @@ class TimingChecker:
             e = bank.last_act + t.tRCD
             group_of = self._group_of
             grp = group_of[cmd.bank]
-            ccd_l, ccd_s = t.tCCD_L, t.tCCD_S
+            own_rank = rank_of[cmd.bank]
+            ccd_l, ccd_s, tcs = t.tCCD_L, t.tCCD_S, t.tCS
             write_end = NEVER
+            other_write_end = NEVER
             for other in banks:
                 last_cas = other.last_read
                 if other.last_write > last_cas:
                     last_cas = other.last_write
+                if multi_rank and rank_of[other.index] != own_rank:
+                    v = last_cas + tcs
+                    if v > e:
+                        e = v
+                    if other.last_write_data_end > other_write_end:
+                        other_write_end = other.last_write_data_end
+                    continue
                 gap = ccd_l if group_of[other.index] == grp else ccd_s
                 v = last_cas + gap
                 if v > e:
@@ -227,6 +264,10 @@ class TimingChecker:
                 v = write_end + t.tWTR
                 if v > e:
                     e = v
+                if multi_rank:
+                    v = other_write_end + tcs
+                    if v > e:
+                        e = v
         elif kind is CommandKind.REF:
             trp = t.tRP
             for bank in banks:
@@ -235,7 +276,7 @@ class TimingChecker:
                     e = v
                 if bank.open_row is not None:
                     e = 1 << 62  # all banks must be precharged first
-            v = rank.last_ref + t.tRFC
+            v = self._last_ref(rank_states) + t.tRFC
             if v > e:
                 e = v
         return e if e > 0 else 0
@@ -258,29 +299,46 @@ class TimingChecker:
     # -- helpers ----------------------------------------------------------
 
     def _act_to_act(self, cmd: Command, banks: list[BankState]) -> list[_Constraint]:
-        """tRRD constraints of an ACT against every other bank's last ACT."""
+        """tRRD constraints of an ACT against same-rank banks' last ACTs.
+
+        tRRD is a rank-internal constraint: ACTs to different ranks of a
+        channel are only coupled through the shared command bus, which
+        this model does not bottleneck on.
+        """
         t = self.timing
-        group = self.geometry.bank_group_of(cmd.bank)
+        group = self._group_of[cmd.bank]
+        rank_of = self._rank_of
+        rank = rank_of[cmd.bank]
         out = []
         for other in banks:
-            if other.index == cmd.bank:
+            if other.index == cmd.bank or rank_of[other.index] != rank:
                 continue
-            same_group = self.geometry.bank_group_of(other.index) == group
+            same_group = self._group_of[other.index] == group
             gap = t.tRRD_L if same_group else t.tRRD_S
             name = "tRRD_L" if same_group else "tRRD_S"
             out.append(_Constraint(other.last_act + gap, name))
         return out
 
     def _cas_to_cas(self, cmd: Command, banks: list[BankState]) -> list[_Constraint]:
-        """tCCD constraints of a column command against every bank's last CAS."""
+        """tCCD constraints of a column command against every bank's last CAS.
+
+        Same-rank banks see tCCD_L/tCCD_S; banks of *other* ranks see the
+        rank-to-rank bus turnaround tCS instead.
+        """
         t = self.timing
-        group = self.geometry.bank_group_of(cmd.bank)
+        group = self._group_of[cmd.bank]
+        rank_of = self._rank_of
+        rank = rank_of[cmd.bank]
         out = []
         for other in banks:
-            same_group = self.geometry.bank_group_of(other.index) == group
-            gap = t.tCCD_L if same_group else t.tCCD_S
-            name = "tCCD_L" if same_group else "tCCD_S"
             last_cas = max(other.last_read, other.last_write)
+            if rank_of[other.index] == rank:
+                same_group = self._group_of[other.index] == group
+                gap = t.tCCD_L if same_group else t.tCCD_S
+                name = "tCCD_L" if same_group else "tCCD_S"
+            else:
+                gap = t.tCS
+                name = "tCS"
             out.append(_Constraint(last_cas + gap, name))
         return out
 
@@ -293,6 +351,23 @@ class TimingChecker:
         fourth = sorted(rank.recent_acts)[-4]
         return _Constraint(fourth + t.tFAW, "tFAW")
 
-    def _last_write_end(self, banks: list[BankState]) -> int:
-        """End of the most recent write burst anywhere in the rank."""
-        return max(b.last_write_data_end for b in banks)
+    def _last_write_end(self, bank_index: int, banks: list[BankState],
+                        same_rank: bool) -> int:
+        """End of the most recent write burst in (or outside) the rank."""
+        rank_of = self._rank_of
+        rank = rank_of[bank_index]
+        best = NEVER
+        for b in banks:
+            if (rank_of[b.index] == rank) == same_rank:
+                if b.last_write_data_end > best:
+                    best = b.last_write_data_end
+        return best
+
+    @staticmethod
+    def _last_ref(rank_states: tuple[RankState, ...]) -> int:
+        """Most recent refresh across the channel's ranks."""
+        best = rank_states[0].last_ref
+        for state in rank_states[1:]:
+            if state.last_ref > best:
+                best = state.last_ref
+        return best

@@ -20,6 +20,7 @@ Module                       Paper artifact
 ``fig12_trcd_heatmap``       Figure 12 (min-tRCD heatmap)
 ``fig13_trcd_speedup``       Figure 13 (tRCD-reduction speedup)
 ``fig14_sim_speed``          Figure 14 (simulation speed)
+``fig15_channel_scaling``    Figure 15 (channel scaling, extension)
 ===========================  =======================================
 """
 
@@ -33,6 +34,7 @@ from repro.experiments import (
     fig12_trcd_heatmap,
     fig13_trcd_speedup,
     fig14_sim_speed,
+    fig15_channel_scaling,
     sec6_validation,
     tab01_platforms,
 )
@@ -47,6 +49,7 @@ __all__ = [
     "fig12_trcd_heatmap",
     "fig13_trcd_speedup",
     "fig14_sim_speed",
+    "fig15_channel_scaling",
     "sec6_validation",
     "tab01_platforms",
 ]

@@ -21,6 +21,7 @@ from repro.experiments import (
     fig12_trcd_heatmap,
     fig13_trcd_speedup,
     fig14_sim_speed,
+    fig15_channel_scaling,
     sec6_validation,
     tab01_platforms,
 )
@@ -37,6 +38,7 @@ ARTIFACTS = (
     ("Figure 12", fig12_trcd_heatmap),
     ("Figure 13", fig13_trcd_speedup),
     ("Figure 14", fig14_sim_speed),
+    ("Figure 15", fig15_channel_scaling),
     ("Ablations", ablations),
 )
 

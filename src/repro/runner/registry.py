@@ -27,6 +27,7 @@ ARTIFACT_ORDER = (
     "fig12",
     "fig13",
     "fig14",
+    "fig15",
     "ablations",
 )
 
@@ -41,6 +42,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.fig12_trcd_heatmap",
     "repro.experiments.fig13_trcd_speedup",
     "repro.experiments.fig14_sim_speed",
+    "repro.experiments.fig15_channel_scaling",
     "repro.experiments.ablations",
 )
 

@@ -106,3 +106,49 @@ def touch_trace(base: int, size_bytes: int, line_bytes: int = 64,
                 write: bool = False) -> Iterator[Access]:
     """Touch every line once (per-access shim over the block builder)."""
     yield from touch_blocks(base, size_bytes, line_bytes, write).accesses()
+
+
+def channel_stream_blocks(mapper, lines_per_channel: int,
+                          write: bool = False, gap: int = _LINE_GAP,
+                          block: int | None = None) -> BlockTrace:
+    """Streaming accesses that provably rotate across every channel.
+
+    Built from DRAM coordinates through ``mapper.to_physical`` —
+    access ``k`` targets channel ``k % channels`` at the ``k //
+    channels``-th line of that channel's row-major walk — so the
+    footprint spans the whole topology *regardless* of the mapping
+    scheme.  On the paper's single-channel system this degenerates to a
+    plain row-major stream.  This is the multi-channel bandwidth kernel
+    the channel-scaling experiment drives.
+    """
+    from repro.dram.address import DramAddress
+
+    g = mapper.geometry
+    channels = g.channels
+    columns = g.columns_per_row
+    banks = g.total_banks
+    rows = g.rows_per_bank
+    banks_per_rank = g.num_banks
+    flag = 1 if write else 0
+    per_block = max(1, block or block_accesses())
+    total = lines_per_channel * channels
+    to_physical = mapper.to_physical
+
+    def addr_of(k: int) -> int:
+        ch = k % channels
+        inner = k // channels
+        col = inner % columns
+        blk = inner // columns
+        bank = blk % banks
+        row = (blk // banks) % rows
+        return to_physical(DramAddress(bank=bank, row=row, col=col,
+                                       channel=ch,
+                                       rank=bank // banks_per_rank))
+
+    def chunks() -> Iterator[AccessBlock]:
+        for start in range(0, total, per_block):
+            count = min(per_block, total - start)
+            addr = [addr_of(start + i) for i in range(count)]
+            yield AccessBlock(addr, [flag] * count, [gap] * count)
+
+    return BlockTrace(chunks())

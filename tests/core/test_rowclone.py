@@ -45,10 +45,11 @@ class TestPlanning:
 
     def test_init_plan_one_source_per_subarray(self, technique):
         plan = technique.plan_init(8 * technique.geometry.row_bytes)
-        for (bank, sub), src_row in plan.source_rows.items():
+        for (channel, bank, sub), src_row in plan.source_rows.items():
             assert technique.geometry.subarray_of(src_row) == sub
         for pair in plan.targets:
-            key = (pair.bank, technique.geometry.subarray_of(pair.dst_row))
+            key = (pair.channel, pair.bank,
+                   technique.geometry.subarray_of(pair.dst_row))
             assert plan.source_rows[key] == pair.src_row
 
     def test_init_prescribed_targets_include_failures(self, technique):

@@ -10,6 +10,7 @@ from repro.experiments import (
     fig12_trcd_heatmap,
     fig13_trcd_speedup,
     fig14_sim_speed,
+    fig15_channel_scaling,
     sec6_validation,
     tab01_platforms,
 )
@@ -159,6 +160,28 @@ class TestFig14:
         ratios = dict(zip(result["kernels"], result["speed_ratios"]))
         # durbin (compute-bound) gains at least as much as gemver.
         assert ratios["durbin"] >= 0.8 * ratios["gemver"]
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig15_channel_scaling.run(total_lines=4096)
+
+    def test_throughput_scales_with_channels(self, result):
+        assert result["channels"] == [1, 2, 4]
+        assert result["monotonic"]
+        gbps = result["gbps"]
+        assert gbps[1] > 1.3 * gbps[0]     # 2ch meaningfully beats 1ch
+        assert gbps[2] > gbps[1]
+
+    def test_interleave_balances_channels(self, result):
+        for counts in result["requests_per_channel"].values():
+            assert min(counts) > 0.8 * max(counts)
+
+    def test_report_renders(self, result):
+        text = fig15_channel_scaling.report(result)
+        assert "channel count" in text
+        assert "monotonically" in text
 
 
 class TestTab01:

@@ -87,6 +87,28 @@ def test_artifact_bit_identical(monkeypatch, name, call, normalize):
     assert slow == fast, f"{name}: fast path changed the artifact"
 
 
+def test_fig15_emulated_quantities_bit_identical(monkeypatch):
+    """fig15's emulated columns (not its host-MHz axis) match.
+
+    Multi-channel topologies must honor the same contract as the paper's
+    single-channel system: the fast path only changes host time.
+    """
+    from repro.experiments import fig15_channel_scaling
+
+    def emulated():
+        result = fig15_channel_scaling.run(total_lines=2048)
+        return {
+            "channels": result["channels"],
+            "gbps": result["gbps"],
+            "speedups": result["speedups"],
+            "requests_per_channel": result["requests_per_channel"],
+            "monotonic": result["monotonic"],
+        }
+
+    slow, fast = run_both(monkeypatch, emulated)
+    assert slow == fast
+
+
 def test_fig14_emulated_run_bit_identical(monkeypatch):
     """fig14's emulated quantities (not its wall-clock rates) match."""
     def emulated(kernel="durbin"):
