@@ -105,6 +105,17 @@ class ChannelSet:
         for smc in self.smcs:
             smc.serve_hook = hook
 
+    def set_core_tracker(self, tracker) -> None:
+        """Install one shared per-core service tracker on every channel.
+
+        Channels are independent buses but core attribution is global:
+        requests from one core spread over every channel, so all
+        controllers write into the same
+        :class:`~repro.core.stats.CoreServiceTracker`.
+        """
+        for smc in self.smcs:
+            smc.set_core_tracker(tracker)
+
     @property
     def scheduler(self):
         return self.smcs[0].scheduler

@@ -86,6 +86,13 @@ class ControllerConfig:
     """
 
     scheduler: str = "fr-fcfs"          # or "fcfs"
+    #: FR-FCFS anti-starvation guard: once the oldest request-table
+    #: entry has been bypassed by this many newer arrivals it is served
+    #: next regardless of row-buffer state.  ``None`` (the paper's
+    #: single-core default) disables the guard; multi-core contention
+    #: scenarios set it so one core's row-hit stream cannot starve
+    #: another core's row-miss requests.
+    scheduler_age_cap: int | None = None
     pipelined_occupancy_cycles: int = 4
     #: Request/response path between the memory bus and EasyTile buffers,
     #: in memory-controller cycles.

@@ -82,6 +82,33 @@ def make_engine(name: str | None = None):
     return EventEngine()
 
 
+def _sweep_cores(active: list, counters, pending: list,
+                 rotation: int) -> tuple[bool, bool]:
+    """One round-robin arbitration sweep over every runnable core.
+
+    Starting from ``rotation`` (so no core is permanently first at the
+    SMC boundary), each core bursts to its next clock gate; its new
+    requests join ``pending`` in sweep order — Python's stable sort in
+    the controller then breaks equal-tag ties by this round-robin order.
+    Returns ``(produced_requests, any_core_finished)``; finished cores
+    are removed from ``active`` in place.
+    """
+    produced = False
+    finished = False
+    n = len(active)
+    start = rotation % n
+    for proc in active[start:] + active[:start]:
+        burst = proc.execute_burst()
+        counters.advance_processor(proc.cycles)
+        if burst.new_requests:
+            pending.extend(burst.new_requests)
+            produced = True
+        if burst.done:
+            active.remove(proc)
+            finished = True
+    return produced, finished
+
+
 class CycleEngine:
     """Reference engine: staged programs, instruction-walked execution."""
 
@@ -114,6 +141,33 @@ class CycleEngine:
             smc.service_pending(pending)
             self.stats.releases += len(pending)
             pending.clear()
+
+    def run_cores(self, session: "Session", procs: list) -> None:
+        """Drive N already-fed cores to completion (multi-core contention).
+
+        The single-core flow generalized: every runnable core bursts to
+        its gate (round-robin, rotating the start core each sweep), the
+        merged pending batch is serviced in one critical-mode episode,
+        and the sweep repeats until every core's trace drains.  With one
+        core this loop is exactly :meth:`run_trace` minus the feed.
+        """
+        counters = session.system.counters
+        smc = session.system.smc
+        pending = session._pending
+        active = [proc for proc in procs if not proc.done]
+        sweep = 0
+        while active:
+            produced, finished = _sweep_cores(active, counters, pending, sweep)
+            sweep += 1
+            if pending:
+                if active:
+                    self.stats.gates += 1
+                smc.service_pending(pending)
+                self.stats.releases += len(pending)
+                pending.clear()
+            elif active and not (produced or finished):
+                raise EmulationDeadlock(
+                    "all cores blocked with no pending memory requests")
 
 
 class EventEngine:
@@ -213,6 +267,41 @@ class EventEngine:
             # landed inside the skipped interval — were absorbed without
             # dedicated host work; drain them so the queue stays small.
             stats.events_skipped += queue.drain_until(proc.cycles)
+
+    def run_cores(self, session: "Session", procs: list) -> None:
+        """Drive N already-fed cores to completion (multi-core contention).
+
+        The skip-ahead loop generalized to N request streams: cores
+        burst to their gates round-robin (block traces replay on the
+        array-native block path inside ``execute_burst``; the
+        per-core inverted ``execute_gated`` control flow cannot
+        interleave cores, so mixes use the burst protocol), the merged
+        batch is serviced bank-parallel, and the event queue drains to
+        the slowest core's cycle — an event is only "passed" once every
+        core's jump is beyond it.
+        """
+        counters = session.system.counters
+        smc = session.system.smc
+        pending = session._pending
+        queue = self.queue
+        stats = self.stats
+        self._proc_period = session._proc_period
+        active = [proc for proc in procs if not proc.done]
+        sweep = 0
+        while active:
+            produced, finished = _sweep_cores(active, counters, pending, sweep)
+            sweep += 1
+            if pending:
+                if active:
+                    stats.gates += 1
+                self._service(smc, pending)
+                pending.clear()
+                if active:
+                    low = min(proc.cycles for proc in active)
+                    stats.events_skipped += queue.drain_until(low)
+            elif active and not (produced or finished):
+                raise EmulationDeadlock(
+                    "all cores blocked with no pending memory requests")
 
     # -- internals ------------------------------------------------------------
 

@@ -77,14 +77,34 @@ class FRFCFS(Scheduler):
 
     Row-buffer hits are prioritized over row misses; ties break by age.
     This maximizes row-buffer locality and is the paper's default.
+
+    ``age_cap`` is the anti-starvation guard multi-core contention
+    needs: plain FR-FCFS lets one core's row-hit stream bypass another
+    core's row-miss request indefinitely.  With a cap, once the oldest
+    table entry has watched ``age_cap`` newer requests arrive (its
+    arrival-order distance to the newest entry reaches the cap), it is
+    served next regardless of row-buffer state.  The default (``None``)
+    disables the guard and reproduces the paper's single-core scheduler
+    bit for bit.
     """
 
     name = "fr-fcfs"
+
+    def __init__(self, age_cap: int | None = None) -> None:
+        if age_cap is not None and age_cap < 1:
+            raise ValueError("age_cap must be >= 1 (or None to disable)")
+        self.age_cap = age_cap
 
     def select(self, table: list[TableEntry],
                banks: list[BankState]) -> TableEntry:
         if not table:
             raise ValueError("cannot schedule from an empty request table")
+        cap = self.age_cap
+        if cap is not None:
+            oldest = min(table, key=lambda e: e.arrival_order)
+            newest = max(table, key=lambda e: e.arrival_order)
+            if newest.arrival_order - oldest.arrival_order >= cap:
+                return oldest
         best: TableEntry | None = None
         best_key: tuple[int, int, int] | None = None
         for entry in table:
@@ -108,6 +128,11 @@ class FRFCFS(Scheduler):
         ``arrival_order`` is far below 2**60, so the packed comparison
         is exactly the lexicographic tuple comparison.
         """
+        cap = self.age_cap
+        if cap is not None and table[-1][0] - table[0][0] >= cap:
+            # Entries append in arrival order and removals keep the list
+            # sorted, so first/last are the oldest/newest entries.
+            return table[0]
         # The oldest entry has the smallest arrival order, so if it is a
         # read row-hit nothing can beat it — the common case on
         # streaming fills is O(1).
@@ -133,10 +158,15 @@ class FRFCFS(Scheduler):
         return 4 + 2 * table_len
 
 
-def make_scheduler(name: str) -> Scheduler:
-    """Factory used by the controller config."""
+def make_scheduler(name: str, age_cap: int | None = None) -> Scheduler:
+    """Factory used by the controller config.
+
+    ``age_cap`` only applies to FR-FCFS (FCFS is starvation-free by
+    construction); passing it with ``"fcfs"`` is accepted and ignored so
+    configs can sweep schedulers without special-casing.
+    """
     if name == "fcfs":
         return FCFS()
     if name == "fr-fcfs":
-        return FRFCFS()
+        return FRFCFS(age_cap=age_cap)
     raise ValueError(f"unknown scheduler {name!r}")

@@ -58,6 +58,10 @@ class SmcStats:
     batches_executed: int = 0
 
 
+#: Row-buffer outcome string -> the flat case index the plans use.
+_ROW_CASE = {"hit": 0, "miss": 1, "conflict": 2}
+
+
 class SoftwareMemoryController(ProgramExecutor):
     """Conventional open-page controller; techniques subclass or hook it."""
 
@@ -69,7 +73,8 @@ class SoftwareMemoryController(ProgramExecutor):
         self.api = api
         self.api.executor = self
         self.counters = counters
-        self.scheduler = scheduler or make_scheduler(config.controller.scheduler)
+        self.scheduler = scheduler or make_scheduler(
+            config.controller.scheduler, config.controller.scheduler_age_cap)
         self.stats = SmcStats()
         self.table: list[TableEntry] = []
         self._arrival_counter = 0
@@ -87,6 +92,10 @@ class SoftwareMemoryController(ProgramExecutor):
         self._resp_bus_ps = cc.response_bus_cycles * self._mc_period
         #: Technique hook: may replace the read/write staging for a request.
         self.serve_hook = None
+        #: Per-core service tracker (multi-core sessions only; see
+        #: :meth:`set_core_tracker`).  ``None`` on the paper's
+        #: single-core system, which keeps every serve path unchanged.
+        self._core_tracker = None
         # Stable tile internals, hoisted off the per-request path.
         self._tile_stats = tile.stats
         self._device = tile.device
@@ -115,6 +124,21 @@ class SoftwareMemoryController(ProgramExecutor):
         # select and decision-cost hooks); swapping it rebuilds them.
         if getattr(self, "_fastpath", False) and hasattr(self, "_plans"):
             self._decision_cost_1 = value.decision_cost(1)
+            self._service_single = self._make_service_single()
+            self._service_fast = self._make_service_fast()
+
+    def set_core_tracker(self, tracker) -> None:
+        """Install (or clear) the shared per-core service tracker.
+
+        The tracker attributes every serviced request's direction and
+        row-buffer outcome to the issuing core
+        (:class:`~repro.core.stats.CoreServiceTracker`).  The fast-path
+        serve closures bind it at build time, so installing one rebuilds
+        them — exactly like swapping the scheduler does.
+        """
+        self._core_tracker = tracker
+        if self._fastpath:
+            self._serve_flat_core = self._make_serve_flat()
             self._service_single = self._make_service_single()
             self._service_fast = self._make_service_fast()
 
@@ -275,10 +299,13 @@ class SoftwareMemoryController(ProgramExecutor):
         """Serve one request: stage, execute, tag the response."""
         request = entry.request
         sched_start = self.sched_cursor
-        self.tile.classify_row_access(entry.dram.bank, entry.dram.row)
+        outcome = self.tile.classify_row_access(entry.dram.bank, entry.dram.row)
         # A store miss is a *line fill* — a DRAM read; the dirty data
         # returns to DRAM later as a writeback.  Only writebacks issue WR.
         is_dram_write = request.is_writeback
+        if self._core_tracker is not None:
+            self._core_tracker.note(request.core, _ROW_CASE[outcome],
+                                    is_dram_write)
         if self.serve_hook is not None:
             self.serve_hook(self.api, entry)
         else:
@@ -623,8 +650,11 @@ class SoftwareMemoryController(ProgramExecutor):
         costs = api.costs
         dram = entry.dram
         sched_start = self.sched_cursor
-        self.tile.classify_row_access(dram.bank, dram.row)
+        outcome = self.tile.classify_row_access(dram.bank, dram.row)
         is_dram_write = request.is_writeback
+        if self._core_tracker is not None:
+            self._core_tracker.note(request.core, _ROW_CASE[outcome],
+                                    is_dram_write)
         cmds, n_instr, total_cycles, stage_charge = self._plan_conventional(
             dram, is_dram_write)
         sched_cycles = api.charged_cycles + stage_charge
@@ -775,6 +805,8 @@ class SoftwareMemoryController(ProgramExecutor):
         gmax_cas_arr = flat.group_max_cas
         gmax_act_arr = flat.group_max_act
         group_of = flat.group_of
+        tracker = self._core_tracker
+        track = tracker.note if tracker is not None else None
 
         def serve(request: MemoryRequest, dram) -> None:
             bank = dram.bank
@@ -792,6 +824,8 @@ class SoftwareMemoryController(ProgramExecutor):
                 tile_stats.row_conflicts += 1
                 case = 2
             is_dram_write = request.is_writeback
+            if track is not None:
+                track(request.core, case, is_dram_write)
             (kinds, offsets, total_cycles, stage_charge, measured,
              post_flush_ps) = plan_list[case + case + is_dram_write]
             sched_cycles = api.charged_cycles + stage_charge

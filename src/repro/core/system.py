@@ -26,6 +26,8 @@ fast the host produces them.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.bender.engine import ExecResult
 from repro.core.channels import Channel, ChannelSet
@@ -33,16 +35,16 @@ from repro.core.config import SystemConfig
 from repro.core.easyapi import CostModel, EasyAPI
 from repro.core.engine import EmulationDeadlock, make_engine, resolve_engine_name
 from repro.core.smc import SoftwareMemoryController
-from repro.core.stats import Breakdown, RunResult
+from repro.core.stats import Breakdown, CoreResult, CoreServiceTracker, RunResult
 from repro.core.tile import EasyTile
 from repro.core.timescale import TimeScalingCounters
-from repro.cpu.cache import Cache, CacheHierarchy
+from repro.cpu.cache import Cache, CacheHierarchy, CacheStats
 from repro.cpu.memtrace import Trace
 from repro.cpu.processor import MemoryRequest, Processor
 from repro.dram.address import AddressMapper
 from repro.dram.timing import PS_PER_S, period_ps
 
-__all__ = ["EasyDRAMSystem", "EmulationDeadlock", "Session"]
+__all__ = ["EasyDRAMSystem", "EmulationDeadlock", "Session", "SessionCore"]
 
 
 class EasyDRAMSystem:
@@ -135,38 +137,114 @@ class EasyDRAMSystem:
         return self.tile.device
 
 
+@dataclass
+class SessionCore:
+    """One emulated core of a session: processor + private caches."""
+
+    index: int
+    workload_name: str
+    processor: Processor
+    hierarchy: CacheHierarchy
+
+
 class Session:
-    """A running emulation: processor state persists across trace segments."""
+    """A running emulation: processor state persists across trace segments.
+
+    A session starts single-core — :attr:`processor` and
+    :attr:`hierarchy` are core 0, and every paper artifact drives
+    exactly that path.  :meth:`add_core` grows the session into a
+    multi-core shared-memory scenario: each core gets private caches and
+    its own MLP-gated request stream, all cores share the memory system
+    (channels, controllers, DRAM), and :meth:`run_cores` drives them
+    under round-robin issue arbitration at the SMC boundary.
+    """
 
     def __init__(self, system: EasyDRAMSystem, workload_name: str,
                  engine: str | None = None) -> None:
         self.system = system
         self.workload_name = workload_name
         config = system.config
+        self.cores: list[SessionCore] = []
+        first = self._make_core(workload_name)
+        self.hierarchy = first.hierarchy
+        self.processor = first.processor
+        self.engine = make_engine(engine if engine is not None
+                                  else system.engine_name)
+        self._pending: list[MemoryRequest] = []
+        self._core_tracker: CoreServiceTracker | None = None
+        #: Optional per-core solo reference cycles (``{core index:
+        #: cycles}``) — when set before :meth:`finish`, per-core
+        #: slowdowns (shared cycles / solo cycles) are reported.
+        self.solo_cycles: dict[int, int] | None = None
+        self._wall_start = time.perf_counter()
+        self._proc_period = period_ps(config.processor.emulated_freq_hz)
+
+    def _make_core(self, workload_name: str) -> SessionCore:
+        config = self.system.config
         l1 = Cache("L1D", config.l1.size_bytes, config.l1.assoc,
                    config.l1.line_bytes, config.l1.hit_latency)
         l2 = Cache("L2", config.l2.size_bytes, config.l2.assoc,
                    config.l2.line_bytes, config.l2.hit_latency)
-        self.hierarchy = CacheHierarchy(l1, l2, memory_fill_latency=2)
-        self.processor = Processor(config.processor, self.hierarchy, trace=())
+        hierarchy = CacheHierarchy(l1, l2, memory_fill_latency=2)
+        processor = Processor(config.processor, hierarchy, trace=(),
+                              core_id=len(self.cores))
         # Bulk-decode each block's DRAM-bound addresses into the
         # mapper's memo as soon as the cache filter produces them.
-        self.processor.prime_hook = system.mapper.prime
-        if system.num_channels > 1:
+        processor.prime_hook = self.system.mapper.prime
+        if self.system.num_channels > 1:
             # Tag every DRAM request with its decoded channel at issue
             # time; the ChannelSet routes on the tag without re-decoding.
-            self.processor.channel_hook = system.mapper.channel_of
-        self.engine = make_engine(engine if engine is not None
-                                  else system.engine_name)
-        self._pending: list[MemoryRequest] = []
-        self._wall_start = time.perf_counter()
-        self._proc_period = period_ps(config.processor.emulated_freq_hz)
+            processor.channel_hook = self.system.mapper.channel_of
+        core = SessionCore(len(self.cores), workload_name, processor,
+                           hierarchy)
+        self.cores.append(core)
+        return core
 
     # -- core loop (Fig 5/6) -----------------------------------------------------
 
     def run_trace(self, trace: Trace) -> None:
         """Execute one trace segment to completion (delegates to the engine)."""
         self.engine.run_trace(self, trace)
+
+    # -- multi-core scenarios ------------------------------------------------------
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    def add_core(self, workload_name: str | None = None) -> SessionCore:
+        """Add one emulated core (private caches, shared memory system).
+
+        The first call flips the session into multi-core mode: a shared
+        :class:`~repro.core.stats.CoreServiceTracker` is installed on
+        every channel's controller so serviced requests and row-buffer
+        outcomes are attributed per core.  Single-core sessions never
+        install one, keeping the paper's hot paths untouched.
+        """
+        if workload_name is None:
+            workload_name = f"core{len(self.cores)}"
+        core = self._make_core(workload_name)
+        if self._core_tracker is None:
+            self._core_tracker = CoreServiceTracker(len(self.cores))
+            self.system.smc.set_core_tracker(self._core_tracker)
+        else:
+            self._core_tracker.grow(len(self.cores))
+        return core
+
+    def run_cores(self, traces: Sequence[Trace]) -> None:
+        """Run one trace per core to completion under shared contention.
+
+        ``traces[i]`` feeds core ``i``; the engine interleaves the cores
+        with round-robin issue arbitration and services every merged
+        pending batch in one critical-mode episode on the shared
+        controllers.  With one core this is :meth:`run_trace` exactly.
+        """
+        if len(traces) != len(self.cores):
+            raise ValueError(
+                f"got {len(traces)} traces for {len(self.cores)} cores")
+        for core, trace in zip(self.cores, traces):
+            core.processor.feed(trace)
+        self.engine.run_cores(self, [c.processor for c in self.cores])
 
     # -- technique support --------------------------------------------------------
 
@@ -231,7 +309,15 @@ class Session:
 
         Memory-side counters are summed over every channel's tile,
         controller, and device; on the paper's single-channel system the
-        sums are the lone channel's counters verbatim.
+        sums are the lone channel's counters verbatim.  Multi-core
+        sessions additionally report per-core slices (``per_core``):
+        processor-side counters come from each core's own processor,
+        controller-side attribution from the shared
+        :class:`~repro.core.stats.CoreServiceTracker`, and — when
+        :attr:`solo_cycles` was set — each core's slowdown vs its solo
+        run.  The run's headline ``cycles`` is then the *last* core's
+        completion (the mix's makespan) while access counters sum over
+        cores.
         """
         wall = time.perf_counter() - self._wall_start
         proc = self.processor
@@ -242,32 +328,72 @@ class Session:
         dram_busy_ps = sum(t.stats.dram_busy_ps for t in tiles)
         total_sched_cycles = sum(s.stats.total_sched_cycles
                                  for s in system.smcs)
-        emulated_ps = proc.cycles * self._proc_period
-        stall_ps = proc.stats.stall_cycles * self._proc_period
+        multicore = len(self.cores) > 1
+        if multicore:
+            procs = [c.processor for c in self.cores]
+            cycles = max(p.cycles for p in procs)
+            stall_cycles = sum(p.stats.stall_cycles for p in procs)
+            accesses = sum(p.stats.accesses for p in procs)
+            loads = sum(p.stats.loads for p in procs)
+            stores = sum(p.stats.stores for p in procs)
+            llc_misses = sum(p.stats.llc_miss_requests for p in procs)
+            writebacks = sum(p.stats.writeback_requests for p in procs)
+            n_lat = sum(len(p.stats.request_latencies) for p in procs)
+            avg_latency = (sum(sum(p.stats.request_latencies) for p in procs)
+                           / n_lat if n_lat else 0.0)
+            l1 = CacheStats()
+            l2 = CacheStats()
+            for core in self.cores:
+                for total, level in ((l1, core.hierarchy.l1.stats),
+                                     (l2, core.hierarchy.l2.stats)):
+                    total.hits += level.hits
+                    total.misses += level.misses
+                    total.writebacks += level.writebacks
+                    total.flushes += level.flushes
+            # Total useful processing across cores; stall is summed too,
+            # so Breakdown.total_ps reads as core-cycles (core-seconds).
+            processing_ps = sum(p.cycles - p.stats.stall_cycles
+                                for p in procs) * self._proc_period
+            fpga_proc_cycles = sum(p.cycles for p in procs)
+        else:
+            cycles = proc.cycles
+            stall_cycles = proc.stats.stall_cycles
+            accesses = proc.stats.accesses
+            loads = proc.stats.loads
+            stores = proc.stats.stores
+            llc_misses = proc.stats.llc_miss_requests
+            writebacks = proc.stats.writeback_requests
+            avg_latency = proc.stats.avg_request_latency
+            l1 = self.hierarchy.l1.stats
+            l2 = self.hierarchy.l2.stats
+            processing_ps = (cycles - stall_cycles) * self._proc_period
+            fpga_proc_cycles = cycles
+        emulated_ps = cycles * self._proc_period
+        stall_ps = stall_cycles * self._proc_period
         breakdown = Breakdown(
-            processing_ps=emulated_ps - stall_ps,
+            processing_ps=processing_ps,
             scheduling_ps=scheduling_ps,
             main_memory_ps=dram_busy_ps,
             stall_ps=stall_ps,
         )
         fpga_ps = (
-            proc.cycles * config.processor_domain.fpga_period_ps
+            fpga_proc_cycles * config.processor_domain.fpga_period_ps
             + total_sched_cycles * config.controller_domain.fpga_period_ps
             + dram_busy_ps)
         return RunResult(
             config_name=config.name,
             workload_name=self.workload_name,
-            cycles=proc.cycles,
+            cycles=cycles,
             emulated_ps=emulated_ps,
-            accesses=proc.stats.accesses,
-            loads=proc.stats.loads,
-            stores=proc.stats.stores,
-            stall_cycles=proc.stats.stall_cycles,
-            llc_miss_requests=proc.stats.llc_miss_requests,
-            writeback_requests=proc.stats.writeback_requests,
-            avg_request_latency_cycles=proc.stats.avg_request_latency,
-            l1=self.hierarchy.l1.stats,
-            l2=self.hierarchy.l2.stats,
+            accesses=accesses,
+            loads=loads,
+            stores=stores,
+            stall_cycles=stall_cycles,
+            llc_miss_requests=llc_misses,
+            writeback_requests=writebacks,
+            avg_request_latency_cycles=avg_latency,
+            l1=l1,
+            l2=l2,
             row_hits=sum(t.stats.row_hits for t in tiles),
             row_misses=sum(t.stats.row_misses for t in tiles),
             row_conflicts=sum(t.stats.row_conflicts for t in tiles),
@@ -281,4 +407,35 @@ class Session:
             requests_per_channel=[s.stats.serviced_reads
                                   + s.stats.serviced_writes
                                   for s in system.smcs],
+            per_core=self._per_core_results() if multicore else [],
         )
+
+    def _per_core_results(self) -> list[CoreResult]:
+        """One :class:`CoreResult` per core (multi-core sessions only)."""
+        tracker = self._core_tracker
+        solo = self.solo_cycles or {}
+        results = []
+        for core in self.cores:
+            stats = core.processor.stats
+            index = core.index
+            solo_ref = solo.get(index, 0)
+            results.append(CoreResult(
+                core=index,
+                workload_name=core.workload_name,
+                cycles=core.processor.cycles,
+                accesses=stats.accesses,
+                loads=stats.loads,
+                stores=stats.stores,
+                stall_cycles=stats.stall_cycles,
+                llc_miss_requests=stats.llc_miss_requests,
+                writeback_requests=stats.writeback_requests,
+                avg_request_latency_cycles=stats.avg_request_latency,
+                serviced_reads=tracker.reads[index] if tracker else 0,
+                serviced_writes=tracker.writes[index] if tracker else 0,
+                row_hits=tracker.row_hits[index] if tracker else 0,
+                row_misses=tracker.row_misses[index] if tracker else 0,
+                row_conflicts=tracker.row_conflicts[index] if tracker else 0,
+                slowdown=(core.processor.cycles / solo_ref
+                          if solo_ref else 0.0),
+            ))
+        return results

@@ -53,6 +53,11 @@ class MemoryRequest:
     #: single-channel system); set at issue time so the channel router
     #: never re-decodes.
     channel: int = 0
+    #: Core that issued the request (always 0 on the paper's single-core
+    #: system).  Multi-core sessions tag it at issue time so the shared
+    #: memory controller can attribute service and row-buffer outcomes
+    #: per core without back-pointers.
+    core: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = "WB" if self.is_writeback else ("ST" if self.is_write else "LD")
@@ -109,11 +114,14 @@ class Processor:
     """One emulated core executing a memory trace."""
 
     def __init__(self, config: ProcessorConfig, hierarchy: CacheHierarchy,
-                 trace: Trace) -> None:
+                 trace: Trace, core_id: int = 0) -> None:
         self.config = config
         self.hierarchy = hierarchy
         self._trace: Iterator[Access] = iter(trace)
         self.cycles = 0                      # processor cycle counter
+        #: This core's index in a multi-core session (0 when solo);
+        #: stamped into every request the core issues.
+        self.core_id = core_id
         self.outstanding: list[MemoryRequest] = []
         self.stats = ProcessorStats()
         self._rid = itertools.count()
@@ -227,6 +235,7 @@ class Processor:
         stats = self.stats
         rid = self._rid
         channel_of = self.channel_hook
+        core = self.core_id
         # Hot counters hoisted into locals for the replay loop; every
         # exit path below writes them back through _sync_block_counters.
         cycles = self.cycles
@@ -350,7 +359,8 @@ class Processor:
                     new_requests.append(MemoryRequest(
                         rid=next(rid), addr=wb_addr, is_write=True,
                         tag=cycles, is_writeback=True, issue_index=accesses,
-                        channel=0 if channel_of is None else channel_of(wb_addr)))
+                        channel=0 if channel_of is None else channel_of(wb_addr),
+                        core=core))
                     wb_ptr += 1
                 fill = fills[i]
                 if fill >= 0:
@@ -359,7 +369,8 @@ class Processor:
                         rid=next(rid), addr=fill,
                         is_write=bool(flag & FLAG_WRITE), tag=cycles,
                         issue_index=accesses,
-                        channel=0 if channel_of is None else channel_of(fill))
+                        channel=0 if channel_of is None else channel_of(fill),
+                        core=core)
                     out.append(request)
                     new_requests.append(request)
                 i += 1
@@ -471,7 +482,8 @@ class Processor:
                 rid=next(self._rid), addr=wb_addr, is_write=True,
                 tag=self.cycles, is_writeback=True,
                 issue_index=stats.accesses,
-                channel=0 if channel_of is None else channel_of(wb_addr)))
+                channel=0 if channel_of is None else channel_of(wb_addr),
+                core=self.core_id))
         if traffic.fill_line is not None:
             stats.llc_miss_requests += 1
             request = MemoryRequest(
@@ -479,6 +491,7 @@ class Processor:
                 is_write=is_write, tag=self.cycles,
                 issue_index=stats.accesses,
                 channel=0 if channel_of is None
-                else channel_of(traffic.fill_line))
+                else channel_of(traffic.fill_line),
+                core=self.core_id)
             self.outstanding.append(request)
             new_requests.append(request)

@@ -21,6 +21,7 @@ Module                       Paper artifact
 ``fig13_trcd_speedup``       Figure 13 (tRCD-reduction speedup)
 ``fig14_sim_speed``          Figure 14 (simulation speed)
 ``fig15_channel_scaling``    Figure 15 (channel scaling, extension)
+``fig16_core_contention``    Figure 16 (core contention, extension)
 ===========================  =======================================
 """
 
@@ -35,6 +36,7 @@ from repro.experiments import (
     fig13_trcd_speedup,
     fig14_sim_speed,
     fig15_channel_scaling,
+    fig16_core_contention,
     sec6_validation,
     tab01_platforms,
 )
@@ -50,6 +52,7 @@ __all__ = [
     "fig13_trcd_speedup",
     "fig14_sim_speed",
     "fig15_channel_scaling",
+    "fig16_core_contention",
     "sec6_validation",
     "tab01_platforms",
 ]

@@ -156,7 +156,10 @@ def run() -> dict:
 
 SWEEP = register(SweepSpec(
     artifact="ablations", title="Ablations", module=__name__,
-    build_points=_build_points, combine=_combine))
+    build_points=_build_points, combine=_combine,
+    description="beyond-paper ablations: FR-FCFS vs FCFS, pipelined-occupancy"
+                " sweep, Bloom-filter false-positive-rate sweep",
+    runtime="~1 s"))
 
 
 def report(result: dict) -> str:

@@ -103,7 +103,10 @@ SWEEP = register(SweepSpec(
     artifact="fig02", title="Figure 2", module=__name__,
     build_points=_build_points, combine=_combine,
     csv_headers=("system", "exec ms", "mem latency (cycles)",
-                 "mem latency (ns)", "sched %", "DRAM %", "stalled %")))
+                 "mem latency (ns)", "sched %", "DRAM %", "stalled %"),
+    description="execution-time breakdown of a memory request on four"
+                " system models",
+    runtime="~1 s"))
 
 
 def report(result: dict) -> str:

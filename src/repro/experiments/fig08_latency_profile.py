@@ -92,7 +92,10 @@ def run(sizes_kib: tuple[int, ...] = lmbench.FIG8_SIZES_KIB,
 
 SWEEP = register(SweepSpec(
     artifact="fig08", title="Figure 8", module=__name__,
-    build_points=_build_points, combine=_combine))
+    build_points=_build_points, combine=_combine,
+    description="lmbench memory-latency profile: No-Time-Scaling vs"
+                " Time-Scaling vs the real Cortex A57",
+    runtime="~45 s"))
 
 
 def report(result: dict) -> str:

@@ -35,7 +35,9 @@ def _combine(results: dict) -> dict:
 
 SWEEP = register(SweepSpec(
     artifact="fig11", title="Figure 11", module=__name__,
-    build_points=_build_points, combine=_combine))
+    build_points=_build_points, combine=_combine,
+    description="RowClone speedup in the CLFLUSH (dirty-cache) setting",
+    runtime="~50 s"))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -94,7 +94,9 @@ def _combine(results: dict) -> dict:
 SWEEP = register(SweepSpec(
     artifact="fig12", title="Figure 12", module=__name__,
     build_points=_build_points, combine=_combine,
-    csv_headers=("bank", "min tRCD ns", "mean", "max")))
+    csv_headers=("bank", "min tRCD ns", "mean", "max"),
+    description="per-row minimum reliable tRCD heatmap (~84.5% strong rows)",
+    runtime="~1 s"))
 
 
 def report(result: dict) -> str:

@@ -122,7 +122,10 @@ SWEEP = register(SweepSpec(
     artifact="fig13", title="Figure 13", module=__name__,
     build_points=_build_points, combine=_combine,
     csv_headers=("workload", "EasyDRAM speedup", "Ramulator speedup",
-                 "LLC-miss/kacc", "reduced ACTs", "nominal ACTs")))
+                 "LLC-miss/kacc", "reduced ACTs", "nominal ACTs"),
+    description="execution-time speedup with reduced-tRCD scheduling on"
+                " PolyBench kernels",
+    runtime="~5 s"))
 
 
 def report(result: dict) -> str:

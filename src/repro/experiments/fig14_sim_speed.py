@@ -145,6 +145,9 @@ SWEEP = register(SweepSpec(
     csv_headers=("workload", "EasyDRAM (event) MHz", "EasyDRAM (cycle) MHz",
                  "Ramulator MHz", "ratio", "engine speedup",
                  "LLC-miss/kacc"),
+    description="simulation speed vs the cycle-level baseline, plus the"
+                " event-vs-cycle engine comparison",
+    runtime="~3 s",
     parallel_safe=False))
 
 

@@ -116,6 +116,9 @@ SWEEP = register(SweepSpec(
     build_points=_build_points, combine=_combine,
     csv_headers=("channels", "emulated ms", "GB/s", "speedup vs 1ch",
                  "host MHz", "requests/channel"),
+    description="beyond-paper channel scaling: stream throughput and host"
+                " sim speed on 1/2/4-channel topologies",
+    runtime="~1 s",
     parallel_safe=False))
 
 

@@ -80,7 +80,10 @@ SWEEP = register(SweepSpec(
     artifact="sec6", title="Section 6 validation", module=__name__,
     build_points=_build_points, combine=_combine,
     csv_headers=("workload", "ref cycles", "time-scaled cycles",
-                 "exec err %", "mem-lat err %")))
+                 "exec err %", "mem-lat err %"),
+    description="time-scaling validation: scaled 100 MHz system vs 1 GHz"
+                " reference, <0.1% average error",
+    runtime="~4 s"))
 
 
 def report(result: dict) -> str:

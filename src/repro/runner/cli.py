@@ -70,8 +70,14 @@ def _parser() -> argparse.ArgumentParser:
              " artifact sweeps; writes BENCH_emulation.json under --out"
              " and fails on >20%% speedup regression vs the checked-in"
              " baseline")
+    run.add_argument(
+        "--list", action="store_true", dest="list_artifacts",
+        help="list the registered artifacts (with descriptions and"
+             " default runtimes) instead of running anything")
 
-    lst = sub.add_parser("list", help="list registered artifacts")
+    lst = sub.add_parser(
+        "list",
+        help="list registered artifacts with descriptions and runtimes")
     lst.add_argument("--verbose", action="store_true",
                      help="include implementing module and point counts")
 
@@ -155,6 +161,8 @@ def _select_artifacts(selector: str) -> list[str]:
 
 
 def _run_command(args: argparse.Namespace) -> int:
+    if args.list_artifacts:
+        return _list_command(argparse.Namespace(verbose=False))
     if args.bench:
         return _bench_command(args)
     if args.full:
@@ -261,13 +269,22 @@ def _summarize(outcomes: list[SweepOutcome]) -> int:
 
 
 def _list_command(args: argparse.Namespace) -> int:
-    for name, spec in registry.all_specs().items():
+    """One line per artifact: id, title, runtime, and description.
+
+    The point of the listing is that nobody should have to grep
+    ``experiments/`` to learn what an artifact regenerates or roughly
+    how long a cold run takes.
+    """
+    specs = registry.all_specs()
+    title_width = max(len(spec.title) for spec in specs.values())
+    for name, spec in specs.items():
+        runtime = spec.runtime or "?"
+        line = (f"{name:10s} {spec.title:{title_width}s} {runtime:>6s}"
+                f"  {spec.description}")
+        print(line.rstrip())
         if args.verbose:
             points = len(spec.build_points())
-            print(f"{name:10s} {spec.title:25s} {points:3d} points"
-                  f"  {spec.module}")
-        else:
-            print(f"{name:10s} {spec.title}")
+            print(f"{'':10s} {points} points, {spec.module}")
     return 0
 
 

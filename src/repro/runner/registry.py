@@ -28,6 +28,7 @@ ARTIFACT_ORDER = (
     "fig13",
     "fig14",
     "fig15",
+    "fig16",
     "ablations",
 )
 
@@ -43,6 +44,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.fig13_trcd_speedup",
     "repro.experiments.fig14_sim_speed",
     "repro.experiments.fig15_channel_scaling",
+    "repro.experiments.fig16_core_contention",
     "repro.experiments.ablations",
 )
 

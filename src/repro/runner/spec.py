@@ -84,6 +84,12 @@ class SweepSpec:
     build_points: Callable[..., tuple[SweepPoint, ...]]
     combine: Callable[[dict[str, Any]], dict]
     csv_headers: tuple[str, ...] | None = None
+    #: One-line human description shown by ``repro list`` so users can
+    #: pick artifacts without grepping ``experiments/``.
+    description: str = ""
+    #: Rough default (CI-scale, cold-cache, single-job) runtime, e.g.
+    #: ``"~45 s"``; also shown by ``repro list``.
+    runtime: str = ""
     #: False for sweeps whose points measure host wall time (e.g. the
     #: Figure 14 simulation-speed rates): running them concurrently
     #: would let worker contention skew the measured numbers, so the

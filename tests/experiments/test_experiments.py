@@ -11,6 +11,7 @@ from repro.experiments import (
     fig13_trcd_speedup,
     fig14_sim_speed,
     fig15_channel_scaling,
+    fig16_core_contention,
     sec6_validation,
     tab01_platforms,
 )
@@ -182,6 +183,37 @@ class TestFig15:
         text = fig15_channel_scaling.report(result)
         assert "channel count" in text
         assert "monotonically" in text
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig16_core_contention.run()
+
+    def test_slowdown_monotone_in_core_count(self, result):
+        assert result["core_counts"] == [1, 2, 4]
+        assert all(result["slowdown_monotonic"].values())
+        for sched in result["schedulers"]:
+            curve = result["avg_slowdowns"][sched]
+            assert curve[0] == pytest.approx(1.0)   # solo run is the run
+            assert curve[-1] > 1.5                   # 4 cores really contend
+
+    def test_frfcfs_beats_fcfs_on_row_hits(self, result):
+        assert result["frfcfs_hit_rate_wins"]
+
+    def test_latency_sensitive_cores_are_the_victims(self, result):
+        detail = result["details"]["4core-fr-fcfs"]
+        per_core = dict(zip(detail["mix"], detail["slowdowns"]))
+        # The MLP-less chase suffers more than the bandwidth streams,
+        # and the store stream (writebacks deprioritized behind reads)
+        # is the overall victim — so contention is genuinely unfair.
+        assert per_core["pointer_chase"] > per_core["stream"]
+        assert detail["unfairness"] > 1.2
+
+    def test_report_renders(self, result):
+        text = fig16_core_contention.report(result)
+        assert "slowdown monotone" in text
+        assert "FR-FCFS row-hit rate >= FCFS" in text
 
 
 class TestTab01:

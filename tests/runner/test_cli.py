@@ -136,3 +136,19 @@ class TestList:
         stdout = capsys.readouterr().out
         for artifact in registry.ARTIFACT_ORDER:
             assert artifact in stdout
+
+    def test_list_shows_descriptions_and_runtimes(self, capsys):
+        """Users should not need to grep experiments/ for what runs what."""
+        assert main(["list"]) == 0
+        stdout = capsys.readouterr().out
+        for spec in registry.all_specs().values():
+            assert spec.description, f"{spec.artifact} has no description"
+            assert spec.runtime, f"{spec.artifact} has no runtime estimate"
+            assert spec.description in stdout
+            assert spec.runtime in stdout
+
+    def test_run_dash_dash_list_is_the_same_listing(self, capsys):
+        assert main(["list"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["run", "--list"]) == 0
+        assert capsys.readouterr().out == plain
