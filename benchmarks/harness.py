@@ -39,6 +39,15 @@ from repro.workloads import lmbench, microbench
 #: Fractional speedup loss vs the checked-in baseline that fails the gate.
 REGRESSION_TOLERANCE = 0.20
 
+#: Compiling the default experiment spec must cost less than this
+#: fraction of the fig08 emulation run measured in the same report, so
+#: the declarative layer stays invisible next to the work it schedules.
+SPEC_OVERHEAD_BUDGET = 0.01
+
+#: The spec the overhead probe loads — the suite CI shards over.
+DEFAULT_SPEC_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                                 "specs", "default.yaml")
+
 #: Timing rounds per (workload, mode); the fastest round is kept so
 #: transient host load cannot fail the gate spuriously.
 ROUNDS = 3
@@ -131,6 +140,53 @@ def measure_workload(name: str, rounds: int = ROUNDS) -> dict:
     }
 
 
+def measure_spec_overhead(rounds: int = ROUNDS) -> dict:
+    """Best-of-``rounds`` wall time to validate and compile the default
+    spec (warm, like the workload walls — imports and the knob inventory
+    are shared process state, not per-plan cost)."""
+    from repro.specs import load_and_compile, load_spec
+
+    path = os.path.relpath(DEFAULT_SPEC_PATH)
+    validate_wall = compile_wall = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        load_spec(path)
+        validate_wall = min(validate_wall, time.perf_counter() - start)
+        start = time.perf_counter()
+        load_and_compile(path)
+        compile_wall = min(compile_wall, time.perf_counter() - start)
+    return {
+        "spec": "specs/default.yaml",
+        "validate_wall_s": round(validate_wall, 5),
+        "compile_wall_s": round(compile_wall, 5),
+    }
+
+
+def check_spec_overhead(report: dict,
+                        budget: float = SPEC_OVERHEAD_BUDGET) -> list[str]:
+    """Spec-compilation overhead failures (empty = pass).
+
+    The denominator is the report's own fig08 emulation wall (fast path
+    off), so both sides of the ratio come from the same host and
+    process and the gate does not drift with machine speed.
+    """
+    overhead = report.get("spec_overhead")
+    if not overhead:
+        return []
+    fig08 = next((r for r in report.get("results", [])
+                  if r.get("workload") == "fig08"), None)
+    if fig08 is None:
+        return []
+    allowed = budget * fig08["baseline_wall_s"]
+    if overhead["compile_wall_s"] >= allowed:
+        return [
+            f"spec compile: {overhead['compile_wall_s'] * 1000:.1f}ms is"
+            f" over {budget:.0%} of the fig08 run"
+            f" ({fig08['baseline_wall_s']:.3f}s -> {allowed * 1000:.1f}ms"
+            " budget)"]
+    return []
+
+
 def _git_rev() -> str:
     try:
         out = subprocess.run(
@@ -151,6 +207,7 @@ def run_benchmarks(rounds: int = ROUNDS) -> dict:
         "python": platform.python_version(),
         "rounds": rounds,
         "results": [measure_workload(name, rounds) for name in WORKLOADS],
+        "spec_overhead": measure_spec_overhead(rounds),
     }
 
 
@@ -193,6 +250,12 @@ def main(argv: list[str] | None = None) -> int:
               f"  fast {row['fastpath_wall_s']:.3f}s"
               f"  ({row['speedup']:.2f}x,"
               f" {row['fastpath_accesses_per_s']:,} acc/s)")
+    overhead = report.get("spec_overhead")
+    if overhead:
+        print(f"{'spec compile':16s} "
+              f"{overhead['compile_wall_s'] * 1000:.1f}ms"
+              f" (validate {overhead['validate_wall_s'] * 1000:.1f}ms,"
+              f" budget {SPEC_OVERHEAD_BUDGET:.0%} of fig08)")
     print(f"wrote {args.out}")
 
     if args.update_baseline:
@@ -209,6 +272,7 @@ def main(argv: list[str] | None = None) -> int:
         with open(BASELINE_PATH) as fh:
             baseline = json.load(fh)
         failures = check_regression(report, baseline)
+        failures += check_spec_overhead(report)
         if failures:
             for line in failures:
                 print(f"REGRESSION: {line}", file=sys.stderr)

@@ -50,6 +50,11 @@ class NullCache:
     def get(self, point: SweepPoint):
         return _MISS
 
+    def has(self, point: SweepPoint) -> bool:
+        """Whether ``get`` would hit, without reading the value
+        (``repro plan``'s probe)."""
+        return False
+
     def put(self, point: SweepPoint, value) -> None:
         pass
 
@@ -88,6 +93,9 @@ class ResultCache(NullCache):
         if entry.get("point_id") != point.point_id:
             return _MISS
         return entry.get("value")
+
+    def has(self, point: SweepPoint) -> bool:
+        return self.is_hit(self.get(point))
 
     def put(self, point: SweepPoint, value) -> None:
         """Persist ``value`` (already JSON-normalized) for ``point``.

@@ -4,6 +4,7 @@
 through the parallel sweep runner::
 
     repro run --artifacts fig10,fig13 --jobs 4 --format json --out results/
+    repro run --spec specs/default.yaml --shard 2/3
 
 Every artifact's ASCII report is printed to stdout (the reproduction
 log); ``--format json|csv`` additionally writes machine-readable results
@@ -11,6 +12,11 @@ under ``--out`` together with a ``manifest.json`` of per-artifact
 statistics.  A failing artifact never aborts the sweep: the failure is
 reported, the remaining artifacts still run, and the exit status is
 nonzero.  ``repro list`` shows the registered artifacts.
+
+Declarative specs (``specs/*.yaml``) get their own verbs: ``validate``
+(schema + knob/registry cross-checks), ``plan`` (points, cache hits,
+estimated runtime — without running), ``diff`` (semantic delta between
+two specs), and ``hash`` (content address + lockfile drift gate).
 """
 
 from __future__ import annotations
@@ -27,19 +33,44 @@ from repro.runner import registry
 from repro.runner.cache import NullCache, ResultCache, default_cache_dir
 from repro.runner.scheduler import SweepOutcome, run_sweep
 
+_EPILOG = """\
+verbs:
+  run        execute artifact sweeps (ad-hoc --artifacts or --spec, with
+             optional --shard k/N slicing into a shared result cache)
+  list       describe every registered artifact
+  profile    host-time layer breakdown of one artifact
+  validate   schema- and cross-check experiment specs (file:line errors)
+  plan       preview a spec: points, cache hits, estimated runtime
+  diff       semantic delta between two specs
+  hash       spec content address + run fingerprint; --check gates
+             specs/HASHES.json like the KNOBS.md drift gate
+
+Specs are documented in docs/EXPERIMENTS.md; knobs in docs/KNOBS.md."""
+
 
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate the paper's artifacts (tables and figures).")
+        description="Regenerate the paper's artifacts (tables and figures).",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser(
         "run", help="run artifact sweeps (parallel, cached)")
     run.add_argument(
         "--artifacts", default="all",
-        help="comma-separated artifact ids, or 'all'"
+        help="comma-separated artifact ids or globs ('fig1*'), or 'all'"
              f" (known: {', '.join(registry.ARTIFACT_ORDER)})")
+    run.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="run a declarative experiment spec (specs/*.yaml) instead"
+             " of --artifacts")
+    run.add_argument(
+        "--shard", default=None, metavar="K/N",
+        help="with --spec: evaluate only the k-th of N deterministic"
+             " point slices into the shared cache (no combine); merge by"
+             " re-running the spec unsharded over the same cache")
     run.add_argument(
         "--jobs", type=int, default=default_jobs(), metavar="N",
         help="worker processes per sweep (default: $REPRO_JOBS or 1)")
@@ -89,6 +120,50 @@ def _parser() -> argparse.ArgumentParser:
         help="experiment artifact to profile (default: fig08)")
     prof.add_argument(
         "--json", action="store_true", help="emit the breakdown as JSON")
+
+    val = sub.add_parser(
+        "validate",
+        help="schema-check experiment specs and cross-check them against"
+             " the artifact registry and knob inventory")
+    val.add_argument("specs", nargs="+", metavar="SPEC",
+                     help="spec files (specs/*.yaml)")
+
+    plan = sub.add_parser(
+        "plan",
+        help="preview a spec: enumerated points, cache hits, and"
+             " estimated runtime, without running anything")
+    plan.add_argument("spec", metavar="SPEC", help="spec file to plan")
+    plan.add_argument(
+        "--shard", default=None, metavar="K/N",
+        help="plan one deterministic shard slice instead of the full run")
+    plan.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache to probe for hits (default: $REPRO_CACHE_DIR or"
+             " .repro-cache/)")
+    plan.add_argument(
+        "--json", action="store_true", help="emit the plan as JSON")
+
+    dif = sub.add_parser(
+        "diff", help="semantic delta between two experiment specs"
+                     " (exit 1 when they differ)")
+    dif.add_argument("spec_a", metavar="SPEC_A", help="old spec file")
+    dif.add_argument("spec_b", metavar="SPEC_B", help="new spec file")
+
+    hsh = sub.add_parser(
+        "hash",
+        help="content addresses of experiment specs; --check fails on"
+             " stale specs/HASHES.json entries (like the KNOBS.md gate)")
+    hsh.add_argument("specs", nargs="+", metavar="SPEC",
+                     help="spec files (specs/*.yaml)")
+    mode = hsh.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--check", action="store_true",
+        help="verify the recorded hashes match; do not write")
+    mode.add_argument(
+        "--update", action="store_true",
+        help="rewrite the HASHES.json lockfile(s) next to the specs")
+    hsh.add_argument(
+        "--json", action="store_true", help="emit the hashes as JSON")
     return parser
 
 
@@ -152,12 +227,39 @@ def _profile_command(args: argparse.Namespace) -> int:
 
 
 def _select_artifacts(selector: str) -> list[str]:
+    """Expand a comma-separated list of ids and globs, in given order."""
     if selector.strip().lower() in ("all", ""):
         return list(registry.all_specs())
-    names = [name.strip() for name in selector.split(",") if name.strip()]
-    for name in names:
-        registry.get(name)  # raises KeyError with the known ids
+    names: list[str] = []
+    for token in selector.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        for name in registry.resolve(token):  # KeyError: did-you-mean
+            if name not in names:
+                names.append(name)
     return names
+
+
+def _print_outcome(args: argparse.Namespace, out_dir: str, spec,
+                   outcome: SweepOutcome) -> None:
+    """Report one finished sweep (full, partial, or failed) to the user."""
+    if not outcome.ok:
+        print(f"\nFAILED {spec.artifact}: see stderr\n")
+        print(f"--- {spec.artifact} failed "
+              f"({spec.module}) ---\n{outcome.error}", file=sys.stderr)
+        return
+    if outcome.partial:
+        print(f"[{spec.title}: partial, {outcome.selected}/{outcome.points}"
+              f" points evaluated ({outcome.cache_hits} cached),"
+              f" {outcome.seconds:.1f}s — no combine]\n")
+        return
+    if not args.quiet:
+        print(spec.report(outcome.result))
+    print(f"\n[{spec.title}: {outcome.points} points,"
+          f" {outcome.cache_hits} cached,"
+          f" {outcome.seconds:.1f}s]\n")
+    _write_outputs(args, out_dir, spec, outcome)
 
 
 def _run_command(args: argparse.Namespace) -> int:
@@ -167,6 +269,12 @@ def _run_command(args: argparse.Namespace) -> int:
         return _bench_command(args)
     if args.full:
         os.environ["REPRO_FULL"] = "1"
+    if args.spec is not None:
+        return _run_spec_command(args)
+    if args.shard is not None:
+        print("error: --shard requires --spec (shards are deterministic"
+              " slices of a spec's point enumeration)", file=sys.stderr)
+        return 2
     try:
         artifacts = _select_artifacts(args.artifacts)
     except KeyError as exc:
@@ -184,21 +292,222 @@ def _run_command(args: argparse.Namespace) -> int:
         print("=" * 72)
         outcome = run_sweep(spec, jobs=args.jobs, cache=cache)
         outcomes.append(outcome)
-        if outcome.ok:
-            if not args.quiet:
-                print(spec.report(outcome.result))
-            print(f"\n[{spec.title}: {outcome.points} points,"
-                  f" {outcome.cache_hits} cached,"
-                  f" {outcome.seconds:.1f}s]\n")
-            _write_outputs(args, out_dir, spec, outcome)
-        else:
-            print(f"\nFAILED {spec.artifact}: see stderr\n")
-            print(f"--- {spec.artifact} failed "
-                  f"({spec.module}) ---\n{outcome.error}", file=sys.stderr)
+        _print_outcome(args, out_dir, spec, outcome)
     if args.format != "ascii":
         write_json(os.path.join(out_dir, "manifest.json"),
                    {"artifacts": [_manifest_entry(o) for o in outcomes]})
     return _summarize(outcomes)
+
+
+def _load_compiled(path: str):
+    """Load + compile a spec, printing every problem; None on failure."""
+    from repro.specs import SpecLoadError, SpecValidationError, \
+        load_and_compile
+
+    try:
+        return load_and_compile(path)
+    except SpecLoadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+    except SpecValidationError as exc:
+        for problem in exc.problems:
+            print(f"error: {problem}", file=sys.stderr)
+    return None
+
+
+def _parse_shard_arg(text: str) -> tuple[int, int] | None:
+    from repro.specs import parse_shard
+
+    try:
+        return parse_shard(text)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _run_spec_command(args: argparse.Namespace) -> int:
+    from repro.specs import applied_env, run_fingerprint, shard_selection, \
+        spec_hash
+
+    compiled = _load_compiled(args.spec)
+    if compiled is None:
+        return 2
+    shard = None
+    if args.shard is not None:
+        shard = _parse_shard_arg(args.shard)
+        if shard is None:
+            return 2
+        if args.no_cache:
+            print("error: --shard needs the result cache (its whole"
+                  " output is content-addressed partials); drop"
+                  " --no-cache", file=sys.stderr)
+            return 2
+    cache = NullCache() if args.no_cache else ResultCache(
+        args.cache_dir or default_cache_dir())
+    out_dir = args.out or results_dir()
+    spec_doc = compiled.spec
+    selection = shard_selection(compiled, *shard) if shard else None
+
+    outcomes: list[SweepOutcome] = []
+    with applied_env(spec_doc.env):
+        for entry in compiled.entries:
+            sweep = entry.sweep
+            if selection is not None:
+                only = selection[sweep.artifact]
+                do_combine = False
+            else:
+                only = tuple(p.point_id for p in entry.selected) \
+                    if entry.filtered else None
+                do_combine = True
+            print("=" * 72)
+            print(f"{sweep.title} ({sweep.module})"
+                  + (f" [shard {args.shard}]" if shard else ""))
+            print("=" * 72)
+            outcome = run_sweep(sweep, jobs=args.jobs, cache=cache,
+                                overrides=entry.overrides, only=only,
+                                do_combine=do_combine)
+            outcomes.append(outcome)
+            _print_outcome(args, out_dir, sweep, outcome)
+    manifest = {
+        "spec": spec_doc.name,
+        "spec_path": spec_doc.path,
+        "spec_hash": spec_hash(spec_doc),
+        "run_fingerprint": run_fingerprint(spec_doc),
+        "shard": args.shard,
+        "artifacts": [_manifest_entry(o) for o in outcomes],
+    }
+    if shard is not None:
+        index, count = shard
+        manifest["points"] = {
+            name: list(ids) for name, ids in selection.items()}
+        path = os.path.join(out_dir,
+                            f"shard-{index}-of-{count}.json")
+        write_json(path, manifest)
+        print(f"wrote shard manifest {path}")
+    elif args.format != "ascii":
+        write_json(os.path.join(out_dir, "manifest.json"), manifest)
+    return _summarize(outcomes)
+
+
+def _validate_command(args: argparse.Namespace) -> int:
+    rc = 0
+    from repro.specs import spec_hash
+
+    for path in args.specs:
+        compiled = _load_compiled(path)
+        if compiled is None:
+            rc = 2
+            continue
+        print(f"OK {path}: spec {compiled.spec.name!r}"
+              f" ({len(compiled.entries)} artifacts,"
+              f" {compiled.total_points()} points,"
+              f" hash {spec_hash(compiled.spec)})")
+    return rc
+
+
+def _plan_command(args: argparse.Namespace) -> int:
+    from repro.specs import plan_spec, shard_selection
+
+    compiled = _load_compiled(args.spec)
+    if compiled is None:
+        return 2
+    selection = None
+    if args.shard is not None:
+        shard = _parse_shard_arg(args.shard)
+        if shard is None:
+            return 2
+        selection = shard_selection(compiled, *shard)
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    report = plan_spec(compiled, cache, selection)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    label = f"plan — {report['spec']} ({report['path']})"
+    if args.shard:
+        label += f", shard {args.shard}"
+    print(label)
+    print(f"spec hash {report['spec_hash']}, run fingerprint"
+          f" {report['run_fingerprint']}")
+    print(f"{'artifact':10s} {'points':>7s} {'cached':>7s} {'to run':>7s}"
+          f"  {'est':>8s}")
+    for row in report["artifacts"]:
+        est = f"~{row['est_seconds']:.0f}s" if row["est_seconds"] else "-"
+        print(f"{row['artifact']:10s} {row['selected']:7d}"
+              f" {row['cached']:7d} {row['to_run']:7d}  {est:>8s}")
+    est_total = report["est_seconds"]
+    est_text = f", est ~{est_total:.0f}s to run" if est_total else ""
+    print(f"total: {report['total_selected']} points,"
+          f" {report['total_cached']} cached,"
+          f" {report['total_to_run']} to run{est_text}")
+    return 0
+
+
+def _diff_command(args: argparse.Namespace) -> int:
+    from repro.specs import SpecLoadError, SpecValidationError, \
+        diff_specs, load_spec
+
+    specs = []
+    for path in (args.spec_a, args.spec_b):
+        try:
+            specs.append(load_spec(path))
+        except SpecLoadError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except SpecValidationError as exc:
+            for problem in exc.problems:
+                print(f"error: {problem}", file=sys.stderr)
+            return 2
+    changes = diff_specs(*specs)
+    if not changes:
+        print(f"{args.spec_a} and {args.spec_b} are semantically"
+              " identical")
+        return 0
+    for line in changes:
+        print(line)
+    return 1
+
+
+def _hash_command(args: argparse.Namespace) -> int:
+    # Hashing is schema-level on purpose: a spec's address must not
+    # depend on which artifacts this checkout happens to register.
+    from repro.specs import SpecLoadError, SpecValidationError, \
+        check_hash, load_spec, run_fingerprint, spec_hash, update_hashes
+
+    specs = []
+    rc = 0
+    for path in args.specs:
+        try:
+            specs.append(load_spec(path))
+        except SpecLoadError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            rc = 2
+        except SpecValidationError as exc:
+            for problem in exc.problems:
+                print(f"error: {problem}", file=sys.stderr)
+            rc = 2
+    if rc:
+        return rc
+    if args.update:
+        for lock in update_hashes(specs):
+            print(f"wrote {lock}")
+        return 0
+    if args.check:
+        problems = [p for p in (check_hash(s) for s in specs) if p]
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"{len(specs)} spec hash(es) up to date")
+        return 0
+    if args.json:
+        print(json.dumps([{
+            "path": s.path,
+            "spec_hash": spec_hash(s),
+            "run_fingerprint": run_fingerprint(s),
+        } for s in specs], indent=2))
+        return 0
+    for spec in specs:
+        print(f"{spec_hash(spec)}  {run_fingerprint(spec)}  {spec.path}")
+    return 0
 
 
 def _write_outputs(args: argparse.Namespace, out_dir: str,
@@ -246,6 +555,8 @@ def _manifest_entry(outcome: SweepOutcome) -> dict:
         "title": outcome.title,
         "ok": outcome.ok,
         "points": outcome.points,
+        "selected": outcome.selected,
+        "partial": outcome.partial,
         "cache_hits": outcome.cache_hits,
         "seconds": round(outcome.seconds, 3),
         "error": (outcome.error or "").splitlines()[-1:] or None,
@@ -254,8 +565,9 @@ def _manifest_entry(outcome: SweepOutcome) -> dict:
 
 def _summarize(outcomes: list[SweepOutcome]) -> int:
     failed = [o for o in outcomes if not o.ok]
+    partial = [o for o in outcomes if o.ok and o.partial]
     total = sum(o.seconds for o in outcomes)
-    points = sum(o.points for o in outcomes)
+    points = sum(o.selected if o.partial else o.points for o in outcomes)
     hits = sum(o.cache_hits for o in outcomes)
     print("=" * 72)
     print(f"{len(outcomes)} artifacts, {points} points"
@@ -264,7 +576,11 @@ def _summarize(outcomes: list[SweepOutcome]) -> int:
         names = ", ".join(o.artifact for o in failed)
         print(f"FAILED ({len(failed)}): {names}", file=sys.stderr)
         return 1
-    print("all artifacts regenerated")
+    if partial:
+        print(f"all points evaluated ({len(partial)} partial sweeps;"
+              " combine by re-running unsharded over the same cache)")
+    else:
+        print("all artifacts regenerated")
     return 0
 
 
@@ -290,11 +606,16 @@ def _list_command(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = _parser().parse_args(argv)
-    if args.command == "run":
-        return _run_command(args)
-    if args.command == "profile":
-        return _profile_command(args)
-    return _list_command(args)
+    commands = {
+        "run": _run_command,
+        "profile": _profile_command,
+        "validate": _validate_command,
+        "plan": _plan_command,
+        "diff": _diff_command,
+        "hash": _hash_command,
+        "list": _list_command,
+    }
+    return commands[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,6 +12,8 @@ modules lazily, so importing :mod:`repro.runner` stays cheap.
 
 from __future__ import annotations
 
+import difflib
+import fnmatch
 import importlib
 
 from repro.runner.spec import SweepSpec
@@ -78,6 +80,12 @@ def _load() -> None:
     _LOADED = True
 
 
+def closest(name: str, known: list[str]) -> str | None:
+    """The best did-you-mean candidate for ``name``, quoted, or None."""
+    matches = difflib.get_close_matches(name, known, n=1, cutoff=0.5)
+    return repr(matches[0]) if matches else None
+
+
 def get(artifact: str) -> SweepSpec:
     """Look up one artifact's sweep; raises ``KeyError`` with options."""
     _load()
@@ -85,8 +93,31 @@ def get(artifact: str) -> SweepSpec:
         return _REGISTRY[artifact]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown artifact {artifact!r} (known: {known})") \
+        close = closest(artifact, sorted(_REGISTRY))
+        hint = f" — did you mean {close}?" if close else ""
+        raise KeyError(
+            f"unknown artifact {artifact!r}{hint} (known: {known})") \
             from None
+
+
+def resolve(selector: str) -> list[str]:
+    """Artifact ids matching ``selector`` (exact id or fnmatch glob).
+
+    Globs (``fig1*``) expand in canonical artifact order and must match
+    at least one artifact; exact names raise the same did-you-mean
+    ``KeyError`` as :func:`get`.
+    """
+    _load()
+    if any(ch in selector for ch in "*?["):
+        matches = [name for name in all_specs()
+                   if fnmatch.fnmatch(name, selector)]
+        if not matches:
+            known = ", ".join(all_specs())
+            raise KeyError(f"artifact pattern {selector!r} matches nothing"
+                           f" (known: {known})")
+        return matches
+    get(selector)
+    return [selector]
 
 
 def all_specs() -> dict[str, SweepSpec]:

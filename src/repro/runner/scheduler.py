@@ -16,7 +16,7 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from typing import Any, Collection, Iterable, Mapping
 
 from repro.runner.cache import NullCache
 from repro.runner.spec import SweepPoint, SweepSpec, evaluate_point
@@ -34,6 +34,13 @@ class SweepOutcome:
     cache_hits: int = 0
     seconds: float = 0.0
     point_ids: tuple[str, ...] = field(default=())
+    #: True for shard slices: only a subset of the sweep's points was
+    #: evaluated (into the cache) and ``combine`` never ran, so
+    #: ``result`` is None even though the run succeeded.
+    partial: bool = False
+    #: Points actually evaluated or read back (== ``points`` unless the
+    #: run was restricted with ``only``).
+    selected: int = 0
 
     @property
     def ok(self) -> bool:
@@ -60,12 +67,20 @@ def _check_points(spec: SweepSpec,
 
 
 def run_sweep(spec: SweepSpec, jobs: int = 1, cache: NullCache | None = None,
-              overrides: Mapping[str, Any] | None = None) -> SweepOutcome:
+              overrides: Mapping[str, Any] | None = None,
+              only: Collection[str] | None = None,
+              do_combine: bool = True) -> SweepOutcome:
     """Execute one sweep and combine its artifact dict.
 
     ``jobs`` bounds the worker processes; ``cache`` (a ``ResultCache`` or
     ``NullCache``) supplies and absorbs point results; ``overrides`` are
     keyword arguments forwarded to the spec's point builder.
+
+    ``only`` restricts execution to the named point ids (a shard slice or
+    a spec's point filter); with ``do_combine=False`` the results go to
+    the cache but ``combine`` is skipped and the outcome is marked
+    ``partial`` — the mode shard workers run in, leaving the final
+    cache-fed combine to the merge step.
     """
     cache = cache if cache is not None else NullCache()
     start = time.perf_counter()
@@ -74,23 +89,29 @@ def run_sweep(spec: SweepSpec, jobs: int = 1, cache: NullCache | None = None,
         points = _check_points(spec, spec.build_points(**dict(overrides or {})))
         outcome.points = len(points)
         outcome.point_ids = tuple(p.point_id for p in points)
+        chosen = points if only is None else tuple(
+            p for p in points if p.point_id in set(only))
+        outcome.selected = len(chosen)
         values: dict[str, Any] = {}
         missing: list[SweepPoint] = []
-        for point in points:
+        for point in chosen:
             cached = cache.get(point)
             if cache.is_hit(cached):
                 values[point.point_id] = cached
             else:
                 missing.append(point)
-        outcome.cache_hits = len(points) - len(missing)
+        outcome.cache_hits = len(chosen) - len(missing)
         # Wall-clock-measuring sweeps stay serial: concurrent workers
         # would contend for cores and skew (then cache) the timings.
         effective_jobs = jobs if spec.parallel_safe else 1
         for point, value in _evaluate(missing, effective_jobs):
             cache.put(point, value)
             values[point.point_id] = value
-        outcome.result = spec.combine(
-            {p.point_id: values[p.point_id] for p in points})
+        if do_combine and len(chosen) == len(points):
+            outcome.result = spec.combine(
+                {p.point_id: values[p.point_id] for p in points})
+        else:
+            outcome.partial = True
     except Exception:
         outcome.error = traceback.format_exc()
     outcome.seconds = time.perf_counter() - start

@@ -1,0 +1,59 @@
+"""Deterministic sharding of a compiled spec's point set.
+
+Shard ``k/N`` takes every Nth point of the spec's global enumeration
+(artifacts in spec order, points in build order), starting at the k-1st.
+The assignment depends only on the compiled spec, so N independent
+processes — or CI jobs on different machines — each compute a disjoint
+slice whose union is exactly the full point set, with no coordination
+beyond agreeing on the spec file.  Round-robin over the *global* index
+(rather than splitting per artifact) spreads a long artifact's points
+across all shards, which is what balances wall-clock when sweeps differ
+wildly in cost.
+
+Merging is the result cache: every shard writes content-addressed
+partials keyed on params + code fingerprint, so re-running the spec
+unsharded over the union of the shards' cache directories reads every
+point back and combines bit-identical artifacts (asserted by the
+``sweep-shards`` CI matrix and ``tests/specs/test_shard.py``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.specs.model import CompiledSpec
+
+_SHARD = re.compile(r"^(\d+)/(\d+)$")
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``"k/N"`` into ``(k, n)``; raises ``ValueError`` when not
+    ``1 <= k <= N``."""
+    match = _SHARD.match(text.strip())
+    if not match:
+        raise ValueError(
+            f"shard {text!r} is not of the form k/N (e.g. --shard 2/3)")
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(
+            f"shard {text!r} out of range: need 1 <= k <= N")
+    return index, count
+
+
+def shard_selection(compiled: CompiledSpec, index: int,
+                    count: int) -> dict[str, tuple[str, ...]]:
+    """``{artifact: selected point_ids}`` for shard ``index`` of ``count``.
+
+    Artifacts whose points all land on other shards still appear, with
+    an empty selection — the runner uses that to report them as skipped
+    rather than silently dropping them from the manifest.
+    """
+    selection: dict[str, list[str]] = {
+        entry.sweep.artifact: [] for entry in compiled.entries}
+    position = 0
+    for entry in compiled.entries:
+        for point in entry.selected:
+            if position % count == index - 1:
+                selection[entry.sweep.artifact].append(point.point_id)
+            position += 1
+    return {name: tuple(ids) for name, ids in selection.items()}

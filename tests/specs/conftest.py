@@ -1,0 +1,41 @@
+"""Shared fixtures for the declarative-spec tests."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+#: A cheap two-artifact spec (6 points, <1 s) used wherever a test needs
+#: real sweeps behind the spec machinery.
+TINY_SPEC = """\
+version: 1
+name: tiny
+description: Small two-artifact grid for tests.
+artifacts:
+  - artifact: fig02
+    overrides:
+      accesses: 200
+      working_set: 65536
+  - artifact: fig16
+    overrides:
+      core_counts: [1]
+      schedulers: [fcfs, fr-fcfs]
+"""
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    """Write a (dedented) YAML text under tmp_path, returning its path."""
+
+    def _write(text: str, name: str = "spec.yaml") -> str:
+        target = tmp_path / name
+        target.write_text(textwrap.dedent(text), encoding="utf-8")
+        return str(target)
+
+    return _write
+
+
+@pytest.fixture
+def tiny_spec(spec_file):
+    return spec_file(TINY_SPEC, name="tiny.yaml")

@@ -1,0 +1,134 @@
+"""Deterministic sharding: disjoint slices, exhaustive union, and the
+acceptance property — merged shard partials combine bit-identically to
+an unsharded run."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.runner.cli import main as cli_main
+from repro.specs import load_and_compile, parse_shard, shard_selection
+
+REPO = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+class TestParseShard:
+    @pytest.mark.parametrize("text,expected", [
+        ("1/1", (1, 1)), ("2/3", (2, 3)), (" 3/3 ", (3, 3)),
+    ])
+    def test_accepts(self, text, expected):
+        assert parse_shard(text) == expected
+
+    @pytest.mark.parametrize("text", [
+        "0/3", "4/3", "1/0", "a/b", "1-3", "1/3/5", "-1/3", "",
+    ])
+    def test_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_shard(text)
+
+
+class TestSelection:
+    @pytest.mark.parametrize("count", [1, 2, 3, 4])
+    def test_union_is_exact_and_disjoint(self, tiny_spec, count):
+        compiled = load_and_compile(tiny_spec)
+        full = {e.sweep.artifact: [p.point_id for p in e.selected]
+                for e in compiled.entries}
+        shards = [shard_selection(compiled, index, count)
+                  for index in range(1, count + 1)]
+        for artifact, ids in full.items():
+            picked = [pid for shard in shards
+                      for pid in shard[artifact]]
+            # Disjoint: no point appears twice across shards...
+            assert len(picked) == len(set(picked))
+            # ...and exhaustive: the union is exactly the full set.
+            assert sorted(picked) == sorted(ids)
+        # Round-robin over the global index balances shard sizes.
+        sizes = [sum(len(ids) for ids in shard.values())
+                 for shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_every_artifact_keyed_even_when_empty(self, tiny_spec):
+        compiled = load_and_compile(tiny_spec)
+        shard = shard_selection(compiled, 6, 6)
+        assert set(shard) == {"fig02", "fig16"}
+
+    def test_assignment_is_deterministic(self, tiny_spec):
+        compiled = load_and_compile(tiny_spec)
+        again = load_and_compile(tiny_spec)
+        for index in (1, 2, 3):
+            assert shard_selection(compiled, index, 3) \
+                == shard_selection(again, index, 3)
+
+
+def load_compare_tool():
+    spec = importlib.util.spec_from_file_location(
+        "compare_results_under_test",
+        os.path.join(REPO, "tools", "compare_results.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestShardedRunMergesBitIdentical:
+    def test_three_shards_merge_equals_unsharded(self, tiny_spec, tmp_path,
+                                                 capsys):
+        cache = str(tmp_path / "cache")
+        shard_out = str(tmp_path / "shards")
+        merged = tmp_path / "merged"
+        fresh = tmp_path / "fresh"
+
+        # Shard workers: each evaluates its slice into the shared cache
+        # and writes a shard manifest; none combines.
+        for index in (1, 2, 3):
+            rc = cli_main(["run", "--spec", tiny_spec,
+                           "--shard", f"{index}/3", "--quiet",
+                           "--out", shard_out, "--cache-dir", cache])
+            assert rc == 0, capsys.readouterr().err
+            manifest = json.loads(Path(
+                shard_out, f"shard-{index}-of-3.json").read_text())
+            assert manifest["shard"] == f"{index}/3"
+            assert all(e["partial"] and e["ok"]
+                       for e in manifest["artifacts"])
+
+        # The three slices cover all 6 points exactly once.
+        evaluated = sum(e["selected"]
+                        for index in (1, 2, 3)
+                        for e in json.loads(Path(
+                            shard_out,
+                            f"shard-{index}-of-3.json").read_text())
+                        ["artifacts"])
+        assert evaluated == 6
+
+        # Merge: unsharded run over the union of the partials — every
+        # point is a cache hit, combine runs for real.
+        rc = cli_main(["run", "--spec", tiny_spec, "--quiet",
+                       "--format", "json", "--out", str(merged),
+                       "--cache-dir", cache])
+        assert rc == 0, capsys.readouterr().err
+        manifest = json.loads((merged / "manifest.json").read_text())
+        for entry in manifest["artifacts"]:
+            assert entry["ok"] and not entry["partial"]
+            assert entry["cache_hits"] == entry["points"]
+
+        # Reference: the same spec from scratch, no cache at all.
+        rc = cli_main(["run", "--spec", tiny_spec, "--quiet",
+                       "--format", "json", "--out", str(fresh),
+                       "--no-cache"])
+        assert rc == 0, capsys.readouterr().err
+
+        tool = load_compare_tool()
+        assert tool.assert_all_cached(merged) == []
+        assert tool.compare(merged, fresh) == []
+        # Belt and braces: identical result payloads, artifact by
+        # artifact, straight off the JSON files.
+        for name in ("fig02.json", "fig16.json"):
+            a = json.loads((merged / name).read_text())["result"]
+            b = json.loads((fresh / name).read_text())["result"]
+            assert a == b, name
+        capsys.readouterr()

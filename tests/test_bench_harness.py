@@ -52,6 +52,44 @@ class TestRegressionGate:
         assert harness.check_regression(report, baseline) == []
 
 
+class TestSpecOverheadGate:
+    @staticmethod
+    def report_with_overhead(fig08_wall: float, compile_wall: float) -> dict:
+        return {
+            "results": [{"workload": "fig08", "baseline_wall_s": fig08_wall}],
+            "spec_overhead": {"spec": "specs/default.yaml",
+                              "validate_wall_s": compile_wall / 2,
+                              "compile_wall_s": compile_wall},
+        }
+
+    def test_under_budget_passes(self):
+        harness = load_harness()
+        report = self.report_with_overhead(1.0, 0.005)
+        assert harness.check_spec_overhead(report) == []
+
+    def test_over_budget_fails(self):
+        harness = load_harness()
+        report = self.report_with_overhead(1.0, 0.02)
+        failures = harness.check_spec_overhead(report)
+        assert len(failures) == 1 and "spec compile" in failures[0]
+
+    def test_reports_without_overhead_pass(self):
+        # Older reports (and stubbed ones in tests) lack the key.
+        harness = load_harness()
+        assert harness.check_spec_overhead(
+            {"results": [{"workload": "fig08", "baseline_wall_s": 1.0}]}) \
+            == []
+
+    def test_measure_is_real_and_fast(self):
+        # The probe itself is cheap enough for tier-1: compiling the
+        # default spec takes milliseconds.
+        harness = load_harness()
+        overhead = harness.measure_spec_overhead(rounds=1)
+        assert overhead["spec"] == "specs/default.yaml"
+        assert 0 < overhead["validate_wall_s"]
+        assert overhead["compile_wall_s"] < 1.0
+
+
 class TestHarnessReport:
     def test_main_writes_report_and_checks(self, tmp_path, monkeypatch):
         harness = load_harness()

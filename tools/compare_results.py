@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Assert two ``repro run --format json`` output trees are bit-identical.
+
+The ``sweep-shards`` CI matrix proves the sharding contract with this
+tool: after the shard jobs fill a shared cache, the merge job combines
+artifacts twice — once from the merged cache, once fresh with
+``--no-cache`` — and the two result payloads must match exactly.  Only
+the ``result`` key of each artifact file is compared: the surrounding
+manifest fields (seconds, cache_hits) legitimately differ between a
+cached and a cold run.
+
+Usage::
+
+    python tools/compare_results.py DIR_A DIR_B
+    python tools/compare_results.py --assert-all-cached DIR
+
+``--assert-all-cached`` instead checks a single run's ``manifest.json``:
+every artifact must have combined (not partial) with every point served
+from the cache — the merge job runs it first, so a missing shard upload
+fails loudly instead of silently recomputing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_SKIP_PREFIXES = ("manifest", "shard-")
+
+
+def artifact_files(directory: Path) -> dict[str, Path]:
+    return {path.name: path for path in sorted(directory.glob("*.json"))
+            if not path.name.startswith(_SKIP_PREFIXES)}
+
+
+def compare(dir_a: Path, dir_b: Path) -> list[str]:
+    files_a, files_b = artifact_files(dir_a), artifact_files(dir_b)
+    problems = []
+    for name in sorted(set(files_a) ^ set(files_b)):
+        where = dir_a if name in files_a else dir_b
+        problems.append(f"{name}: only present under {where}")
+    for name in sorted(set(files_a) & set(files_b)):
+        payload_a = json.loads(files_a[name].read_text())
+        payload_b = json.loads(files_b[name].read_text())
+        if payload_a.get("result") != payload_b.get("result"):
+            problems.append(f"{name}: result payloads differ")
+    return problems
+
+
+def assert_all_cached(directory: Path) -> list[str]:
+    manifest = directory / "manifest.json"
+    if not manifest.is_file():
+        return [f"{manifest}: not found (run with --format json)"]
+    entries = json.loads(manifest.read_text()).get("artifacts", [])
+    if not entries:
+        return [f"{manifest}: no artifacts recorded"]
+    problems = []
+    for entry in entries:
+        name = entry.get("artifact", "?")
+        if not entry.get("ok"):
+            problems.append(f"{name}: run failed")
+        elif entry.get("partial"):
+            problems.append(f"{name}: partial run (no combine)")
+        elif entry.get("cache_hits") != entry.get("points"):
+            problems.append(
+                f"{name}: only {entry.get('cache_hits')} of"
+                f" {entry.get('points')} points came from the cache —"
+                " a shard's partials are missing")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("dirs", nargs="+", metavar="DIR",
+                        help="one dir with --assert-all-cached, else two")
+    parser.add_argument("--assert-all-cached", action="store_true",
+                        help="check DIR's manifest.json instead of"
+                             " comparing two trees")
+    args = parser.parse_args(argv)
+    if args.assert_all_cached:
+        if len(args.dirs) != 1:
+            parser.error("--assert-all-cached takes exactly one DIR")
+        problems = assert_all_cached(Path(args.dirs[0]))
+    else:
+        if len(args.dirs) != 2:
+            parser.error("comparison takes exactly two DIRs")
+        problems = compare(Path(args.dirs[0]), Path(args.dirs[1]))
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print("all-cached manifest OK" if args.assert_all_cached
+          else "result payloads are bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
