@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.core.schedulers import scheduler_names
 from repro.core.timescale import ClockDomain
 from repro.cpu.processor import ProcessorConfig
 from repro.dram.address import Geometry
@@ -85,13 +86,16 @@ class ControllerConfig:
     exact pathology Figure 2 illustrates.
     """
 
-    scheduler: str = "fr-fcfs"          # or "fcfs"
-    #: FR-FCFS anti-starvation guard: once the oldest request-table
-    #: entry has been bypassed by this many newer arrivals it is served
-    #: next regardless of row-buffer state.  ``None`` (the paper's
+    #: Any name registered in :data:`repro.core.schedulers.SCHEDULERS`
+    #: ("fr-fcfs", "fcfs", "atlas", "bliss", "batch").
+    scheduler: str = "fr-fcfs"
+    #: Anti-starvation guard: once the oldest request-table entry has
+    #: been bypassed by this many newer arrivals it is served next
+    #: regardless of row-buffer state.  ``None`` (the paper's
     #: single-core default) disables the guard; multi-core contention
     #: scenarios set it so one core's row-hit stream cannot starve
-    #: another core's row-miss requests.
+    #: another core's row-miss requests.  Threads to every scheduler
+    #: (FCFS, starvation-free by construction, ignores it).
     scheduler_age_cap: int | None = None
     pipelined_occupancy_cycles: int = 4
     #: Request/response path between the memory bus and EasyTile buffers,
@@ -101,8 +105,45 @@ class ControllerConfig:
     refresh_enabled: bool = True
 
     def __post_init__(self) -> None:
-        if self.scheduler not in ("fr-fcfs", "fcfs"):
-            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        known = scheduler_names()
+        if self.scheduler not in known:
+            raise ValueError(f"unknown scheduler {self.scheduler!r}"
+                             f" (known: {', '.join(known)})")
+
+
+@dataclass(frozen=True)
+class InterferenceConfig:
+    """DRAM-layer interference knobs (all off by default).
+
+    These model *memory-system pressure*, not data corruption: refresh
+    storms steal command bandwidth on schedule, and the victim-row
+    counters expose RowHammer-style neighbor-activation pressure per
+    row — no bit flips are modeled.
+    """
+
+    #: Refresh-rate multiplier: the controller issues refreshes every
+    #: ``tREFI / refresh_storm_factor``.  1 keeps the nominal JEDEC
+    #: cadence (the paper's system, bit for bit); larger factors emulate
+    #: a storm of extra refreshes that steal request bandwidth.
+    refresh_storm_factor: int = 1
+    #: When set, only this rank's retention bookkeeping is refreshed
+    #: (the refresh command still occupies the shared channel for its
+    #: full duration) — the other ranks' retention windows keep aging,
+    #: observable under ``retention_modeling``.  ``None`` refreshes all
+    #: ranks, the nominal behaviour.
+    refresh_storm_rank: int | None = None
+    #: Count ACTIVATE commands per (bank, row) so RowHammer-style
+    #: victim-row pressure (activations of the two physical neighbors)
+    #: becomes observable via ``DramDevice.hammer_report``.  Off by
+    #: default: the counters live on the hot path.
+    track_row_activations: bool = False
+
+    def __post_init__(self) -> None:
+        if self.refresh_storm_factor < 1:
+            raise ValueError("refresh_storm_factor must be >= 1")
+        if (self.refresh_storm_rank is not None
+                and self.refresh_storm_rank < 0):
+            raise ValueError("refresh_storm_rank must be >= 0 (or None)")
 
 
 @dataclass(frozen=True)
@@ -121,6 +162,8 @@ class SystemConfig:
     geometry: Geometry = field(default_factory=Geometry)
     cells: CellModelConfig = field(default_factory=CellModelConfig)
     controller: ControllerConfig = field(default_factory=ControllerConfig)
+    interference: InterferenceConfig = field(
+        default_factory=InterferenceConfig)
     mapping_scheme: str = "row-bank-col-skew"
 
     @property

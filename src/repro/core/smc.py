@@ -36,7 +36,12 @@ from repro.bender.engine import ExecResult
 from repro.bender.program import BenderProgram
 from repro.core.config import SystemConfig
 from repro.core.easyapi import EasyAPI, ProgramExecutor
-from repro.core.schedulers import Scheduler, TableEntry, make_scheduler
+from repro.core.schedulers import (
+    Scheduler,
+    TableEntry,
+    make_scheduler,
+    scheduler_override,
+)
 from repro.core.tile import EasyTile
 from repro.core.timescale import TimeScalingCounters
 from repro.cpu.processor import MemoryRequest
@@ -52,7 +57,14 @@ class SmcStats:
 
     serviced_reads: int = 0
     serviced_writes: int = 0
+    #: Prefetch-tagged fills, counted apart from demand reads so
+    #: prefetching never inflates demand-attribution counts.
+    serviced_prefetches: int = 0
     refreshes: int = 0
+    #: Refreshes beyond the nominal tREFI cadence, issued because an
+    #: ``InterferenceConfig.refresh_storm_factor`` > 1 multiplied the
+    #: refresh rate.  Always 0 at the paper's default.
+    storm_refreshes: int = 0
     technique_ops: int = 0
     total_sched_cycles: int = 0
     batches_executed: int = 0
@@ -74,14 +86,23 @@ class SoftwareMemoryController(ProgramExecutor):
         self.api.executor = self
         self.counters = counters
         self.scheduler = scheduler or make_scheduler(
-            config.controller.scheduler, config.controller.scheduler_age_cap)
+            scheduler_override() or config.controller.scheduler,
+            config.controller.scheduler_age_cap)
         self.stats = SmcStats()
         self.table: list[TableEntry] = []
         self._arrival_counter = 0
         self.sched_cursor = 0          # emulated ps
         self.dram_cursor = 0           # emulated ps
         self._exec_anchor_ps = 0       # where the next flushed batch starts
-        self._next_refresh_ps = config.timing.tREFI
+        # Refresh cadence: nominal tREFI, divided by the interference
+        # refresh-storm factor (1 at the paper's default — identical
+        # deadlines).  Clamped to one interface cycle so a huge factor
+        # cannot wedge the deadline loops.
+        self._storm_factor = config.interference.refresh_storm_factor
+        self._refresh_interval = max(
+            config.timing.tCK, config.timing.tREFI // self._storm_factor)
+        self._refresh_index = 0
+        self._next_refresh_ps = self._refresh_interval
         self._proc_period = period_ps(config.processor.emulated_freq_hz)
         mcd = config.controller_domain
         self._mc_period = mcd.emulated_period_ps
@@ -304,8 +325,11 @@ class SoftwareMemoryController(ProgramExecutor):
         # returns to DRAM later as a writeback.  Only writebacks issue WR.
         is_dram_write = request.is_writeback
         if self._core_tracker is not None:
-            self._core_tracker.note(request.core, _ROW_CASE[outcome],
-                                    is_dram_write)
+            if request.is_prefetch:
+                self._core_tracker.note_prefetch(request.core)
+            else:
+                self._core_tracker.note(request.core, _ROW_CASE[outcome],
+                                        is_dram_write)
         if self.serve_hook is not None:
             self.serve_hook(self.api, entry)
         else:
@@ -325,7 +349,10 @@ class SoftwareMemoryController(ProgramExecutor):
         if is_dram_write:
             self.stats.serviced_writes += 1
         else:
-            self.stats.serviced_reads += 1
+            if request.is_prefetch:
+                self.stats.serviced_prefetches += 1
+            else:
+                self.stats.serviced_reads += 1
             # Drain the readback data the fill consumed.
             for _ in range(result.reads):
                 self.api.rdback_cacheline()
@@ -370,7 +397,11 @@ class SoftwareMemoryController(ProgramExecutor):
             self.service_pending(requests)
             return False
         if self._fastpath:
-            if len(requests) == 1 and not self.table:
+            # Stateful schedulers must run selection once per serve, so
+            # the select-free singleton episode is reserved for the
+            # stateless policies.
+            if (len(requests) == 1 and not self.table
+                    and not self._scheduler.stateful):
                 self._service_single(requests[0], refresh_sink)
             else:
                 self._service_fast(requests, refresh_sink)
@@ -426,6 +457,7 @@ class SoftwareMemoryController(ProgramExecutor):
         bus = self._req_bus_ps
         scheduler = self.scheduler
         select_flat = getattr(scheduler, "select_flat", None)
+        stateful = scheduler.stateful
         decision_cost = scheduler.decision_cost
         open_row = self._flat.open_row
         banks = self._device.banks
@@ -487,7 +519,7 @@ class SoftwareMemoryController(ProgramExecutor):
                 count = len(table)
                 api.charged_cycles += decision_cost(count)
                 if select_flat is not None:
-                    if count == 1:
+                    if count == 1 and not stateful:
                         _order, request, dram = table.pop()
                     else:
                         entry = select_flat(table, open_row)
@@ -495,7 +527,7 @@ class SoftwareMemoryController(ProgramExecutor):
                         _order, request, dram = entry
                     serve(request, dram)
                 else:
-                    if count == 1:
+                    if count == 1 and not stateful:
                         entry = table.pop()
                     else:
                         entry = scheduler.select(table, banks)
@@ -653,8 +685,11 @@ class SoftwareMemoryController(ProgramExecutor):
         outcome = self.tile.classify_row_access(dram.bank, dram.row)
         is_dram_write = request.is_writeback
         if self._core_tracker is not None:
-            self._core_tracker.note(request.core, _ROW_CASE[outcome],
-                                    is_dram_write)
+            if request.is_prefetch:
+                self._core_tracker.note_prefetch(request.core)
+            else:
+                self._core_tracker.note(request.core, _ROW_CASE[outcome],
+                                        is_dram_write)
         cmds, n_instr, total_cycles, stage_charge = self._plan_conventional(
             dram, is_dram_write)
         sched_cycles = api.charged_cycles + stage_charge
@@ -696,6 +731,8 @@ class SoftwareMemoryController(ProgramExecutor):
         request.service_ps = dram_end - sched_start
         if is_dram_write:
             self.stats.serviced_writes += 1
+        elif request.is_prefetch:
+            self.stats.serviced_prefetches += 1
         else:
             self.stats.serviced_reads += 1
         # The cycle engine pops the readback line(s) and charges
@@ -751,9 +788,13 @@ class SoftwareMemoryController(ProgramExecutor):
             api.charged_cycles = 0  # flush charges discarded
             self.stats.refreshes += 1
             self.tile.stats.refreshes_issued += 1
+            if self._storm_factor > 1:
+                self._refresh_index += 1
+                if self._refresh_index % self._storm_factor:
+                    self.stats.storm_refreshes += 1
             if refresh_sink is not None:
                 refresh_sink(self._next_refresh_ps)
-            self._next_refresh_ps += t.tREFI
+            self._next_refresh_ps += self._refresh_interval
             if not self._pipelined:
                 if self.dram_cursor > self.sched_cursor:
                     self.sched_cursor = self.dram_cursor
@@ -807,6 +848,8 @@ class SoftwareMemoryController(ProgramExecutor):
         group_of = flat.group_of
         tracker = self._core_tracker
         track = tracker.note if tracker is not None else None
+        track_prefetch = (tracker.note_prefetch if tracker is not None
+                          else None)
 
         def serve(request: MemoryRequest, dram) -> None:
             bank = dram.bank
@@ -825,7 +868,10 @@ class SoftwareMemoryController(ProgramExecutor):
                 case = 2
             is_dram_write = request.is_writeback
             if track is not None:
-                track(request.core, case, is_dram_write)
+                if request.is_prefetch:
+                    track_prefetch(request.core)
+                else:
+                    track(request.core, case, is_dram_write)
             (kinds, offsets, total_cycles, stage_charge, measured,
              post_flush_ps) = plan_list[case + case + is_dram_write]
             sched_cycles = api.charged_cycles + stage_charge
@@ -904,6 +950,8 @@ class SoftwareMemoryController(ProgramExecutor):
             request.service_ps = dram_end - sched_start
             if is_dram_write:
                 stats.serviced_writes += 1
+            elif request.is_prefetch:
+                stats.serviced_prefetches += 1
             else:
                 stats.serviced_reads += 1
             # Mirror the reference path's discarded rdback/enqueue charges.
@@ -929,7 +977,6 @@ class SoftwareMemoryController(ProgramExecutor):
         if self._next_refresh_ps > self.sched_cursor:
             return
         api = self.api
-        t = self.config.timing
         device = self.tile.device
         flat = device.flat
         bender = self.tile.engine
@@ -954,9 +1001,13 @@ class SoftwareMemoryController(ProgramExecutor):
             api.charged_cycles = 0  # flush charges discarded
             self.stats.refreshes += 1
             self.tile.stats.refreshes_issued += 1
+            if self._storm_factor > 1:
+                self._refresh_index += 1
+                if self._refresh_index % self._storm_factor:
+                    self.stats.storm_refreshes += 1
             if refresh_sink is not None:
                 refresh_sink(self._next_refresh_ps)
-            self._next_refresh_ps += t.tREFI
+            self._next_refresh_ps += self._refresh_interval
             if not self._pipelined:
                 if self.dram_cursor > self.sched_cursor:
                     self.sched_cursor = self.dram_cursor
@@ -975,7 +1026,11 @@ class SoftwareMemoryController(ProgramExecutor):
             self.api.take_charges()
             self.stats.refreshes += 1
             self.tile.stats.refreshes_issued += 1
-            self._next_refresh_ps += self.config.timing.tREFI
+            if self._storm_factor > 1:
+                self._refresh_index += 1
+                if self._refresh_index % self._storm_factor:
+                    self.stats.storm_refreshes += 1
+            self._next_refresh_ps += self._refresh_interval
             if not self._pipelined:
                 self.sched_cursor = max(self.sched_cursor, self.dram_cursor)
 

@@ -48,7 +48,9 @@ class EasyTile:
         self.cells = CellArrayModel(config.geometry, config.cells)
         self.device = DramDevice(
             config.timing, config.geometry, cells=self.cells,
-            strict_timing=False)
+            strict_timing=False,
+            track_row_activations=config.interference.track_row_activations,
+            refresh_rank=config.interference.refresh_storm_rank)
         #: Multi-channel systems share one topology-wide mapper across
         #: every tile (the decode memo is then shared too).
         self.mapper = mapper if mapper is not None else AddressMapper(

@@ -87,9 +87,26 @@ class DramDevice:
     def __init__(self, timing: TimingParams, geometry: Geometry,
                  cells: CellArrayModel | None = None,
                  strict_timing: bool = False,
-                 retention_modeling: bool = False) -> None:
+                 retention_modeling: bool = False,
+                 track_row_activations: bool = False,
+                 refresh_rank: int | None = None) -> None:
         self.timing = timing
         self.geometry = geometry
+        if refresh_rank is not None and not (0 <= refresh_rank < geometry.ranks):
+            raise ValueError(
+                f"refresh_rank {refresh_rank} out of range for"
+                f" {geometry.ranks} rank(s)")
+        #: When set, REF commands reset the retention epoch of this rank
+        #: only (a per-rank refresh storm starves the other ranks'
+        #: retention bookkeeping).  ``last_ref`` stays channel-global on
+        #: every rank — REF occupies the shared command bus, so timing
+        #: legality is unchanged by the scoping.
+        self._refresh_rank = refresh_rank
+        #: Per-(bank, row) ACT counts for RowHammer-style pressure
+        #: accounting; ``None`` (the default) keeps the ACT hot paths
+        #: counter-free.
+        self.row_activations: dict[tuple[int, int], int] | None = (
+            {} if track_row_activations else None)
         self.cells = cells or CellArrayModel(geometry)
         # One channel's worth of state: ranks are flattened into the bank
         # dimension (rank r owns banks [r*num_banks, (r+1)*num_banks)).
@@ -272,6 +289,10 @@ class DramDevice:
             self.ranks[self._rank_of[bank_index]].record_act(
                 time_ps, self.timing.tFAW)
             flat.act(bank_index, row, time_ps)
+            acts_map = self.row_activations
+            if acts_map is not None:
+                key = (bank_index, row)
+                acts_map[key] = acts_map.get(key, 0) + 1
         elif kind == K_PRE:
             self.banks[bank_index].precharge(time_ps)
             flat.pre(bank_index, time_ps)
@@ -280,9 +301,7 @@ class DramDevice:
                 bank.precharge(time_ps)
             flat.prea(time_ps)
         elif kind == K_REF:
-            for rank_state in self.ranks:
-                rank_state.last_ref = time_ps
-                rank_state.refresh_epoch_ps = time_ps
+            self._apply_ref(time_ps)
             flat.ref(time_ps)
         else:
             raise ValueError(f"unknown flat command kind {kind}")
@@ -471,6 +490,10 @@ class DramDevice:
                 acts.append(t)
                 while acts[0] <= cutoff:
                     acts.popleft()
+                acts_map = self.row_activations
+                if acts_map is not None:
+                    key = (bank_index, row)
+                    acts_map[key] = acts_map.get(key, 0) + 1
             elif kind == K_PRE:
                 open_row = flat.open_row[bank_index]
                 bank.previously_open_row = bank.open_row  # bank.precharge(t)
@@ -512,6 +535,10 @@ class DramDevice:
         bank.activate(cmd.row, t)
         self.ranks[self._rank_of[cmd.bank]].record_act(t, self.timing.tFAW)
         self.flat.act(cmd.bank, cmd.row, t)
+        acts_map = self.row_activations
+        if acts_map is not None:
+            key = (cmd.bank, cmd.row)
+            acts_map[key] = acts_map.get(key, 0) + 1
         return None
 
     def _do_pre(self, cmd: Command, t: int) -> None:
@@ -569,11 +596,30 @@ class DramDevice:
 
     def _do_ref(self, cmd: Command, t: int) -> None:
         """REF: refresh every rank, resetting the retention epoch."""
-        for rank_state in self.ranks:
-            rank_state.last_ref = t
-            rank_state.refresh_epoch_ps = t
+        self._apply_ref(t)
         self.flat.ref(t)
         return None
+
+    def _apply_ref(self, t: int) -> None:
+        """REF side effects on rank state (both issue paths).
+
+        ``last_ref`` advances on every rank unconditionally — REF holds
+        the shared command bus, so its timing shadow is channel-global
+        and must stay identical whether or not the retention scoping
+        knob is set (the flat timing state keeps one channel-wide
+        ``last_ref`` too).  Only the *retention* epoch is scoped when a
+        per-rank refresh storm targets one rank.
+        """
+        target = self._refresh_rank
+        if target is None:
+            for rank_state in self.ranks:
+                rank_state.last_ref = t
+                rank_state.refresh_epoch_ps = t
+        else:
+            for index, rank_state in enumerate(self.ranks):
+                rank_state.last_ref = t
+                if index == target:
+                    rank_state.refresh_epoch_ps = t
 
     def _do_nop(self, cmd: Command, t: int) -> None:
         """NOP: consume one interface cycle."""
@@ -650,6 +696,36 @@ class DramDevice:
                 f" got {len(data)}")
         self._rows[(bank, row)] = bytearray(data)
 
+    # -- activation pressure --------------------------------------------------
+
+    def hammer_report(self, top: int = 8) -> list[dict[str, int]]:
+        """Rank victim rows by neighbouring activation pressure.
+
+        Requires ``track_row_activations``; returns up to ``top``
+        entries ``{"bank", "row", "pressure", "own_acts"}`` where
+        ``pressure`` is the summed ACT count of the row's physical
+        neighbours (rows ``r-1`` and ``r+1`` in the same bank) — the
+        RowHammer disturbance proxy — and ``own_acts`` is the victim's
+        own ACT count.  Sorted by descending pressure, then (bank, row)
+        for determinism.  No bit flips are modelled; this is
+        observability only.
+        """
+        acts = self.row_activations
+        if acts is None:
+            raise RuntimeError(
+                "hammer_report requires track_row_activations=True")
+        victims: dict[tuple[int, int], int] = {}
+        rows_per_bank = self.geometry.rows_per_bank
+        for (bank, row), count in acts.items():
+            for victim_row in (row - 1, row + 1):
+                if 0 <= victim_row < rows_per_bank:
+                    key = (bank, victim_row)
+                    victims[key] = victims.get(key, 0) + count
+        ranked = sorted(victims.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [{"bank": bank, "row": row, "pressure": pressure,
+                 "own_acts": acts.get((bank, row), 0)}
+                for (bank, row), pressure in ranked[:top]]
+
     # -- retention ------------------------------------------------------------
 
     def _retention_lapsed(self, t: int) -> bool:
@@ -684,3 +760,5 @@ class DramDevice:
                              else self.ranks)
         self.flat.reset()
         self._last_issue_ps = -1
+        if self.row_activations is not None:
+            self.row_activations = {}

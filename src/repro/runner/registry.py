@@ -31,6 +31,7 @@ ARTIFACT_ORDER = (
     "fig14",
     "fig15",
     "fig16",
+    "fig17",
     "ablations",
 )
 
@@ -47,6 +48,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.fig14_sim_speed",
     "repro.experiments.fig15_channel_scaling",
     "repro.experiments.fig16_core_contention",
+    "repro.experiments.fig17_scheduler_frontier",
     "repro.experiments.ablations",
 )
 

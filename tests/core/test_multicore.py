@@ -15,6 +15,7 @@ import dataclasses
 import pytest
 
 from repro.core.config import ControllerConfig, jetson_nano_time_scaling
+from repro.core.stats import fairness_of
 from repro.core.system import EasyDRAMSystem
 from repro.core.workload_mix import (
     CORE_REGION_BYTES,
@@ -241,3 +242,63 @@ class TestAgeCapEndToEnd:
             small_config(scheduler="fr-fcfs", scheduler_age_cap=8), mix)
         assert capped.max_slowdown <= uncapped.max_slowdown * 1.05
         assert capped.unfairness <= uncapped.unfairness * 1.05
+
+
+class TestResultEdgeCases:
+    """CoreResult / fairness math at the corners of the metric space."""
+
+    def test_single_core_mix_is_perfectly_fair(self):
+        run = run_mix(small_config(), WorkloadMix.parse("stream"))
+        # One core: the shared run IS the solo run, so the slowdown is
+        # exactly 1.0 and unfairness is the perfectly-fair 1.0.
+        assert run.slowdowns == [1.0]
+        assert run.max_slowdown == run.min_slowdown == 1.0
+        assert run.unfairness == 1.0
+
+    def test_fairness_of_ignores_unknown_slowdowns(self):
+        assert fairness_of([]) == 0.0
+        assert fairness_of([0.0, 0.0]) == 0.0       # nothing known
+        assert fairness_of([2.0, 0.0]) == 1.0       # one known core
+        assert fairness_of([3.0, 1.5]) == 2.0
+
+    def test_core_with_zero_serviced_requests(self):
+        system = EasyDRAMSystem(small_config())
+        session = system.session("busy")
+        session.add_core("idle")
+        busy = microbench.cpu_copy_blocks(0, 1 << 21, 64 * 1024)
+        session.run_cores([busy, ()])               # core 1 issues nothing
+        result = session.finish()
+        idle = result.per_core[1]
+        assert idle.accesses == 0
+        assert idle.serviced_reads == 0
+        assert idle.serviced_writes == 0
+        assert idle.serviced_prefetches == 0
+        assert idle.row_hit_rate == 0.0             # 0/0 guards to 0.0
+        # No solo references were set, so fairness is unknown, not inf.
+        assert idle.slowdown == 0.0
+        assert result.unfairness == 0.0
+
+    def test_prefetches_excluded_from_demand_attribution(self):
+        from repro.cpu.prefetch import PrefetchConfig
+
+        system = EasyDRAMSystem(small_config())
+        session = system.session("plain")
+        session.add_core("prefetching", prefetch=PrefetchConfig())
+        region = CORE_REGION_BYTES
+        session.run_cores([
+            microbench.cpu_copy_blocks(0, 1 << 21, 64 * 1024),
+            microbench.cpu_copy_blocks(region, region + (1 << 21),
+                                       64 * 1024)])
+        result = session.finish()
+        plain, prefetching = result.per_core
+        assert prefetching.serviced_prefetches > 0
+        assert plain.serviced_prefetches == 0
+        # Demand attribution stays prefetch-blind: every demand service
+        # has exactly one row-outcome note, prefetches have none, and
+        # the channel totals only count demand traffic.
+        for core in result.per_core:
+            assert core.serviced_reads + core.serviced_writes == \
+                core.row_hits + core.row_misses + core.row_conflicts
+        assert sum(c.serviced_reads + c.serviced_writes
+                   for c in result.per_core) == sum(
+                       result.requests_per_channel)

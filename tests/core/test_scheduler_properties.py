@@ -1,0 +1,161 @@
+"""Property-based invariants for every registered scheduler.
+
+Each property drives a scheduler through a deterministic serve-loop
+simulation of the SMC's request table (inject up to two arrivals, serve
+one, repeat; then drain) over hypothesis-randomized request streams:
+
+* **work conservation** — ``select`` always returns a live table entry
+  (the controller never idles while a request is ready), and every
+  injected request is eventually served;
+* **bounded wait** — with the anti-starvation age cap active, no
+  request is bypassed by ``age_cap`` or more younger requests;
+* **determinism** — the same stream through two fresh instances yields
+  the same serve order (no hidden iteration-order or clock dependence);
+* **object/flat equivalence** — ``select`` on the object table and
+  ``select_flat`` on the fast path's tuple table make identical
+  decisions, the scheduler-level half of the fastpath bit-identity
+  contract;
+* **FR-FCFS default equivalence** — the scheduler built from a default
+  ``ControllerConfig`` serves exactly like a hand-built FR-FCFS, so the
+  zoo is invisible at the paper's knobs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ControllerConfig
+from repro.core.schedulers import (
+    FRFCFS,
+    TableEntry,
+    make_scheduler,
+    scheduler_names,
+)
+from repro.cpu.processor import MemoryRequest
+from repro.dram.address import DramAddress
+from repro.dram.bank import BankState
+
+BANKS = 4
+AGE_CAP = 8
+
+#: One request: (bank, row, is_writeback, core).
+REQUEST = st.tuples(st.integers(0, BANKS - 1), st.integers(0, 7),
+                    st.booleans(), st.integers(0, 3))
+STREAMS = st.lists(REQUEST, min_size=1, max_size=48)
+
+ALL_SCHEDULERS = scheduler_names()
+
+
+def _entries(specs):
+    return [TableEntry(
+        request=MemoryRequest(rid=i, addr=0, is_write=wb, tag=i,
+                              is_writeback=wb, core=core),
+        dram=DramAddress(bank, row, 0), arrival_order=i)
+        for i, (bank, row, wb, core) in enumerate(specs)]
+
+
+def serve_order_object(scheduler, specs):
+    """Serve a stream through ``select``; return the arrival-order list.
+
+    Mimics the SMC's loop: up to two arrivals join the table per round,
+    one entry is served (the serve opens its row, like the DRAM side
+    does), and the table drains once the stream ends.
+    """
+    entries = _entries(specs)
+    banks = [BankState(i) for i in range(BANKS)]
+    table: list[TableEntry] = []
+    served: list[int] = []
+    t = 0
+    i = 0
+    while i < len(entries) or table:
+        for _ in range(2):
+            if i < len(entries):
+                table.append(entries[i])
+                i += 1
+        chosen = scheduler.select(table, banks)
+        assert chosen in table, "scheduler selected a request not in the table"
+        table.remove(chosen)
+        t += 100
+        banks[chosen.dram.bank].activate(chosen.dram.row, t)
+        served.append(chosen.arrival_order)
+    return served
+
+
+def serve_order_flat(scheduler, specs):
+    """The same serve loop over the fast path's tuple table."""
+    entries = [(e.arrival_order, e.request, e.dram) for e in _entries(specs)]
+    open_row = [-1] * BANKS
+    table: list[tuple] = []
+    served: list[int] = []
+    i = 0
+    while i < len(entries) or table:
+        for _ in range(2):
+            if i < len(entries):
+                table.append(entries[i])
+                i += 1
+        chosen = scheduler.select_flat(table, open_row)
+        assert chosen in table
+        table.remove(chosen)
+        _, _, dram = chosen
+        open_row[dram.bank] = dram.row
+        served.append(chosen[0])
+    return served
+
+
+@pytest.mark.parametrize("name", ALL_SCHEDULERS)
+class TestSchedulerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(specs=STREAMS)
+    def test_work_conservation(self, name, specs):
+        served = serve_order_object(make_scheduler(name), specs)
+        # Every request serves exactly once; nothing invented or lost.
+        assert sorted(served) == list(range(len(specs)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs=STREAMS)
+    def test_bounded_wait_with_age_cap(self, name, specs):
+        served = serve_order_object(make_scheduler(name, age_cap=AGE_CAP),
+                                    specs)
+        # With the cap, a younger request can bypass an older one only
+        # while the table's age spread is below the cap, so no request
+        # is ever bypassed by AGE_CAP or more younger requests.
+        position = {order: i for i, order in enumerate(served)}
+        for order in range(len(specs)):
+            bypassers = sum(1 for younger in range(order + 1, len(specs))
+                            if position[younger] < position[order])
+            assert bypassers < AGE_CAP, (
+                f"request {order} bypassed {bypassers} times under {name}")
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs=STREAMS)
+    def test_deterministic_given_stream(self, name, specs):
+        first = serve_order_object(make_scheduler(name), specs)
+        second = serve_order_object(make_scheduler(name), specs)
+        assert first == second
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs=STREAMS)
+    def test_flat_path_matches_object_path(self, name, specs):
+        via_object = serve_order_object(make_scheduler(name), specs)
+        via_flat = serve_order_flat(make_scheduler(name), specs)
+        assert via_object == via_flat
+
+
+class TestDefaultIsFrfcfs:
+    def test_default_config_builds_frfcfs_without_cap(self):
+        config = ControllerConfig()
+        scheduler = make_scheduler(config.scheduler,
+                                   config.scheduler_age_cap)
+        assert isinstance(scheduler, FRFCFS)
+        assert scheduler.age_cap is None
+        assert scheduler.stateful is False
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs=STREAMS)
+    def test_default_serves_exactly_like_frfcfs(self, specs):
+        config = ControllerConfig()
+        default = make_scheduler(config.scheduler, config.scheduler_age_cap)
+        reference = FRFCFS()
+        assert (serve_order_object(default, specs)
+                == serve_order_object(reference, specs))

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.core.schedulers import FCFS, FRFCFS, TableEntry, make_scheduler
+from repro.core.schedulers import (
+    FCFS,
+    FRFCFS,
+    TableEntry,
+    make_scheduler,
+    scheduler_names,
+)
 from repro.cpu.processor import MemoryRequest
 from repro.dram.address import DramAddress
 from repro.dram.bank import BankState
@@ -178,3 +184,43 @@ class TestFactory:
     def test_make_unknown(self):
         with pytest.raises(ValueError):
             make_scheduler("random")
+
+    def test_make_zoo_members(self):
+        for name in ("atlas", "bliss", "batch"):
+            assert make_scheduler(name).name == name
+            assert make_scheduler(name).stateful is True
+
+    def test_unknown_lists_registry_with_did_you_mean(self):
+        with pytest.raises(ValueError) as excinfo:
+            make_scheduler("fr-fcsf")
+        message = str(excinfo.value)
+        assert "did you mean 'fr-fcfs'?" in message
+        for name in scheduler_names():
+            assert name in message
+
+    def test_unknown_far_from_everything_still_lists_registry(self):
+        with pytest.raises(ValueError) as excinfo:
+            make_scheduler("zzzzzz")
+        message = str(excinfo.value)
+        assert "did you mean" not in message
+        assert "known: " + ", ".join(scheduler_names()) in message
+
+
+class TestEnvOverride:
+    """REPRO_SCHEDULER overrides the config at controller construction."""
+
+    def test_env_override_selects_scheduler(self, monkeypatch):
+        from repro.core.config import jetson_nano_time_scaling
+        from repro.core.system import EasyDRAMSystem
+
+        monkeypatch.setenv("REPRO_SCHEDULER", "atlas")
+        system = EasyDRAMSystem(jetson_nano_time_scaling())
+        assert system.smc.scheduler.name == "atlas"
+
+    def test_env_unset_uses_config_default(self, monkeypatch):
+        from repro.core.config import jetson_nano_time_scaling
+        from repro.core.system import EasyDRAMSystem
+
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        system = EasyDRAMSystem(jetson_nano_time_scaling())
+        assert system.smc.scheduler.name == "fr-fcfs"

@@ -12,6 +12,7 @@ from repro.experiments import (
     fig14_sim_speed,
     fig15_channel_scaling,
     fig16_core_contention,
+    fig17_scheduler_frontier,
     sec6_validation,
     tab01_platforms,
 )
@@ -214,6 +215,67 @@ class TestFig16:
         text = fig16_core_contention.report(result)
         assert "slowdown monotone" in text
         assert "FR-FCFS row-hit rate >= FCFS" in text
+
+
+class TestFig17:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig17_scheduler_frontier.run()
+
+    def test_grid_is_complete(self, result):
+        assert len(result["rows"]) == 20          # 5 sched x 2 mix x 2 topo
+        assert result["schedulers"] == ["atlas", "batch", "bliss", "fcfs",
+                                        "fr-fcfs"]
+        assert len(result["groups"]) == 4
+
+    def test_every_group_has_a_frontier(self, result):
+        for key in result["groups"]:
+            frontier = result["frontiers"][key]
+            assert frontier, f"{key} has an empty frontier"
+            assert set(frontier) <= set(result["schedulers"])
+
+    def test_frontier_points_are_non_dominated(self, result):
+        eps = fig17_scheduler_frontier.EPS
+        for key in result["groups"]:
+            members = {s: (result["weighted_speedup"][f"{key}/{s}"],
+                           result["max_slowdown"][f"{key}/{s}"])
+                       for s in result["schedulers"]}
+            for winner in result["frontiers"][key]:
+                ws_w, sd_w = members[winner]
+                for other, (ws_o, sd_o) in members.items():
+                    if other == winner:
+                        continue
+                    dominated = (ws_o >= ws_w - eps and sd_o <= sd_w + eps
+                                 and (ws_o > ws_w + eps or sd_o < sd_w - eps))
+                    assert not dominated, (key, winner, other)
+
+    def test_paper_default_lands_on_a_frontier(self, result):
+        assert result["frfcfs_on_frontier"]
+        assert result["frfcfs_frontier_groups"]
+
+    def test_fairness_aware_policies_trade_on_single_channel(self, result):
+        # On the contended single-channel groups, the attained-service
+        # ranking both raises throughput and lowers the worst slowdown.
+        for mix in ("copy-init-chase", "copy-chase"):
+            key = f"ddr4-1ch/{mix}"
+            assert "atlas" in result["frontiers"][key]
+            ws = result["weighted_speedup"]
+            sd = result["max_slowdown"]
+            assert ws[f"{key}/atlas"] > ws[f"{key}/fr-fcfs"]
+            assert sd[f"{key}/atlas"] < sd[f"{key}/fr-fcfs"]
+
+    def test_metrics_are_sane(self, result):
+        for point in result["details"].values():
+            assert 0.0 < point["weighted_speedup"] <= point["cores"]
+            assert point["max_slowdown"] >= 1.0
+            assert point["unfairness"] >= 1.0
+            assert len(point["slowdowns"]) == point["cores"]
+
+    def test_report_renders(self, result):
+        text = fig17_scheduler_frontier.report(result)
+        assert "scheduler frontier" in text
+        assert "frontier =" in text
+        assert "fr-fcfs is on the frontier" in text
 
 
 class TestTab01:

@@ -109,6 +109,29 @@ def test_fig15_emulated_quantities_bit_identical(monkeypatch):
     assert slow == fast
 
 
+def test_fig17_bit_identical_across_fastpath_and_engines(monkeypatch):
+    """fig17 (scheduler frontier) is a pure emulated artifact.
+
+    A reduced grid — two schedulers (one stateful), one mix, one
+    topology — runs under fastpath off/on and both engines; the result
+    dict must not change by a single bit, proving the stateful-scheduler
+    select-once contract holds on every serve path.
+    """
+    from repro.experiments import fig17_scheduler_frontier
+
+    def reduced():
+        return fig17_scheduler_frontier.run(
+            schedulers=("fr-fcfs", "atlas"), mixes=("copy-chase",),
+            topologies=("ddr4-1ch",))
+
+    slow, fast = run_both(monkeypatch, reduced)
+    assert slow == fast
+    monkeypatch.setenv("REPRO_ENGINE", "cycle")
+    assert reduced() == fast
+    monkeypatch.setenv("REPRO_ENGINE", "event")
+    assert reduced() == fast
+
+
 def test_fig14_emulated_run_bit_identical(monkeypatch):
     """fig14's emulated quantities (not its wall-clock rates) match."""
     def emulated(kernel="durbin"):

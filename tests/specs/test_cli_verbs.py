@@ -140,7 +140,8 @@ class TestArtifactSelection:
         from repro.runner.cli import _select_artifacts
 
         assert _select_artifacts("fig1*") == [
-            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"]
+            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "fig17"]
         assert _select_artifacts("fig02,fig0*") == ["fig02", "fig08"]
 
     def test_unknown_artifact_suggests_and_exits_2(self, capsys):

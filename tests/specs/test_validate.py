@@ -206,7 +206,7 @@ class TestCompileCrossChecks:
         compiled = compile_spec(load_spec(path))
         names = [e.sweep.artifact for e in compiled.entries]
         assert names == ["fig10", "fig11", "fig12", "fig13", "fig14",
-                         "fig15", "fig16"]
+                         "fig15", "fig16", "fig17"]
 
     def test_point_filters_select_subset(self, spec_file):
         path = spec_file("""\

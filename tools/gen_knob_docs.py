@@ -59,6 +59,11 @@ ENV_DOCS: dict[str, tuple[str, str]] = {
         "1",
         "Default worker-process count for `repro run` sweeps (same as"
         " `--jobs`)."),
+    "REPRO_PREFETCH": (
+        "off",
+        "Stream prefetcher at every core boundary: `1` enables the"
+        " defaults, `degree:distance` (e.g. `4:8`) tunes the window;"
+        " prefetches are tagged and excluded from demand attribution."),
     "REPRO_MC_MATERIALIZE": (
         "on",
         "`0` stops multi-core workload mixes from materializing each"
@@ -67,6 +72,11 @@ ENV_DOCS: dict[str, tuple[str, str]] = {
     "REPRO_RESULTS_DIR": (
         "`results/`",
         "Default `--out` directory for `repro run --format json|csv`."),
+    "REPRO_SCHEDULER": (
+        "config (`fr-fcfs`)",
+        "Overrides the controller's scheduling policy at construction:"
+        " `atlas`, `batch`, `bliss`, `fcfs`, or `fr-fcfs` (see"
+        " `repro.core.schedulers.SCHEDULERS`)."),
 }
 
 _ENV_READ = re.compile(r"environ[^\n]*?[\"'](REPRO_[A-Z0-9_]+)[\"']")
