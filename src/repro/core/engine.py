@@ -201,6 +201,11 @@ class EventEngine:
         self._proc_period = session._proc_period
         proc.feed(trace)
         if proc.in_block_mode:
+            # Whole-trace kernel replay (REPRO_KERNEL): the gated loop
+            # below, run resident in C with one load/store per trace.
+            from repro.dram.kernel import blockrun
+            if blockrun.run_gated_kernel(self, session, proc, smc):
+                return
             # Inverted control: the block replay loop services gates in
             # place (no per-gate burst return/re-entry).  The callback
             # body is exactly one iteration of the loop below, with the

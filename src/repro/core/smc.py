@@ -68,10 +68,24 @@ class SmcStats:
     technique_ops: int = 0
     total_sched_cycles: int = 0
     batches_executed: int = 0
+    #: Row-tRCD memo inserts the cell model skipped at its cap
+    #: (:attr:`~repro.dram.cells.CellArrayModel.TRCD_CACHE_LIMIT`);
+    #: synced from the device at session finish.  Always 0 on the
+    #: experiment topologies — they fit under the cap outright.
+    trcd_memo_capped: int = 0
 
 
 #: Row-buffer outcome string -> the flat case index the plans use.
 _ROW_CASE = {"hit": 0, "miss": 1, "conflict": 2}
+
+#: Smallest batch the per-gate kernel entry is worth engaging for: the
+#: FFI load/store pair is a fixed cost, and below this size the
+#: select-free fastpath closures win (singletons are ~2x faster there).
+#: Block traces never see this — their whole trace replays resident in
+#: the kernel (:mod:`repro.dram.kernel.blockrun`) regardless of gate
+#: size.  Every serve path stays bit-identical, so the cutover is pure
+#: host-time tuning.
+_KERNEL_MIN_BATCH = 4
 
 
 class SoftwareMemoryController(ProgramExecutor):
@@ -132,6 +146,14 @@ class SoftwareMemoryController(ProgramExecutor):
         self._fastpath = fastpath_enabled()
         if self._fastpath:
             self._build_plans()
+        # Compiled batch kernel (REPRO_KERNEL): resolved lazily on the
+        # first eligible batch; see :meth:`service_pending_kernel`.
+        self._kernel_state = None
+        self._kernel_backend = None
+        self._kernel_resolved = False
+        #: Why the kernel last disengaged (``repro profile`` reports it);
+        #: ``None`` while the kernel is engaged or untried.
+        self.kernel_fallback_reason = None
 
     @property
     def scheduler(self) -> Scheduler:
@@ -147,6 +169,10 @@ class SoftwareMemoryController(ProgramExecutor):
             self._decision_cost_1 = value.decision_cost(1)
             self._service_single = self._make_service_single()
             self._service_fast = self._make_service_fast()
+        # The kernel bakes the scheduler's policy and decision costs into
+        # its config table: force re-resolution on the next batch.
+        self._kernel_state = None
+        self._kernel_resolved = False
 
     def set_core_tracker(self, tracker) -> None:
         """Install (or clear) the shared per-core service tracker.
@@ -162,6 +188,8 @@ class SoftwareMemoryController(ProgramExecutor):
             self._serve_flat_core = self._make_serve_flat()
             self._service_single = self._make_service_single()
             self._service_fast = self._make_service_fast()
+        self._kernel_state = None
+        self._kernel_resolved = False
 
     def _build_plans(self) -> None:
         """Memoize the conventional open-page command plans.
@@ -268,6 +296,9 @@ class SoftwareMemoryController(ProgramExecutor):
     def service_pending(self, requests: list[MemoryRequest]) -> None:
         """Serve every pending request; sets each request's release."""
         if not requests:
+            return
+        if (len(requests) >= _KERNEL_MIN_BATCH
+                and self.service_pending_kernel(requests)):
             return
         self.counters.enter_critical()
         self.api.set_scheduling_state(True)
@@ -392,6 +423,9 @@ class SoftwareMemoryController(ProgramExecutor):
         """
         if not requests:
             return True
+        if (len(requests) >= _KERNEL_MIN_BATCH
+                and self.service_pending_kernel(requests, refresh_sink)):
+            return True
         if (self.serve_hook is not None or self.tile.has_requests
                 or len(self.api.program)):
             self.service_pending(requests)
@@ -437,6 +471,137 @@ class SoftwareMemoryController(ProgramExecutor):
         self._sync_mc_counter()
         self.counters.exit_critical()
         return True
+
+    # -- compiled batch kernel (REPRO_KERNEL) --------------------------------------
+
+    def _kernel_structural_reason(self) -> str | None:
+        """Why the kernel cannot serve this controller at all, or ``None``.
+
+        These conditions are fixed for the controller's lifetime (modulo
+        scheduler swaps, which re-resolve): the kernel reproduces the
+        conventional open-page path only, so anything that adds
+        per-command observable behavior it does not model forces the
+        fastpath closures.
+        """
+        from repro.core.schedulers import FCFS, FRFCFS
+        if not self._fastpath:
+            return "fastpath disabled (REPRO_FASTPATH=0)"
+        if type(self._scheduler) not in (FCFS, FRFCFS):
+            return ("stateful scheduler "
+                    f"({type(self._scheduler).__name__})")
+        device = self._device
+        if device.checker.strict:
+            return "strict timing mode"
+        if device.retention_modeling:
+            return "retention modeling enabled"
+        if device.row_activations is not None:
+            return "row-activation tracking enabled"
+        if not device._inline_earliest:
+            return "non-uniform bank-group timing"
+        if self._mapper.geometry.ranks != 1:
+            return "multi-rank channel"
+        if device._refresh_rank is not None:
+            return "per-rank refresh"
+        cells = device.cells.config
+        if max(cells.strong_max_ps, cells.weak_max_ps) > self.config.timing.tRCD:
+            # The kernel skips the per-RD reliability probe; that is
+            # only unobservable when no in-margin row can exist.
+            return "cell tRCD margins exceed tRCD"
+        return None
+
+    def _kernel_resolve(self):
+        """Resolve (once) whether the kernel may serve, building its state."""
+        from repro.dram.kernel import resolve_backend
+        self._kernel_resolved = True
+        self._kernel_state = None
+        reason = self._kernel_structural_reason()
+        if reason is None:
+            backend, reason = resolve_backend()
+            if backend is not None:
+                from repro.dram.kernel.state import KernelState
+                self._kernel_backend = backend
+                self._kernel_state = KernelState(self)
+                self.kernel_fallback_reason = None
+                return self._kernel_state
+        self.kernel_fallback_reason = reason
+        return None
+
+    def service_pending_kernel(
+            self, requests: list[MemoryRequest],
+            refresh_sink: Callable[[int], None] | None = None) -> bool:
+        """Serve a whole drained batch inside the compiled kernel.
+
+        The fourth serve path: bit-identical to :meth:`service_pending`
+        (and therefore to both fast paths), but the entire episode —
+        arrival transfer, FR-FCFS arbitration, plan issue, timing-
+        legality resolution, refresh interleave, and stat attribution —
+        runs as one compiled call over the struct-of-arrays tables in
+        :mod:`repro.dram.kernel.state`.  Returns ``False`` with all
+        state untouched when the kernel is disengaged or a technique
+        hook / staged tile state needs the object path; the caller then
+        falls back to :meth:`service_pending_batched`.
+        """
+        if not requests:
+            return True
+        ks = self._kernel_state if self._kernel_resolved \
+            else self._kernel_resolve()
+        if ks is None:
+            return False
+        if self.serve_hook is not None:
+            self.kernel_fallback_reason = "technique episode (serve hook)"
+            return False
+        if self.tile.has_requests or len(self.api.program):
+            self.kernel_fallback_reason = "staged tile state pending"
+            return False
+        from repro.dram.kernel.state import (
+            FLAG_PREFETCH, FLAG_WRITEBACK, KERN_OK, KERR_DECODE_RANGE, St,
+        )
+        n = len(requests)
+        if n > 1:
+            requests = sorted(requests, key=lambda r: r.tag)
+        ks.ensure_requests(n)
+        ks.ensure_viol(3 * n + 64)
+        ks.ensure_wrhit(n + 16)
+        tag = ks.req_tag
+        addr = ks.req_addr
+        flags = ks.req_flags
+        core = ks.req_core
+        for i, request in enumerate(requests):
+            tag[i] = request.tag
+            addr[i] = request.addr
+            flags[i] = ((FLAG_WRITEBACK if request.is_writeback else 0)
+                        | (FLAG_PREFETCH if request.is_prefetch else 0))
+            core[i] = request.core
+        if len(self._device._rows) != int(ks.st[St.NMAT]):
+            ks.refresh_materialized()
+        ks.load()
+        ks.st[St.N_REQ] = n
+        before_refresh = self._next_refresh_ps
+        err = self._kernel_run_batch(ks)
+        if err != KERN_OK and err != KERR_DECODE_RANGE:
+            raise RuntimeError(f"batch kernel failed with error {err}")
+        ks.store()
+        ks.scatter_violations()
+        ks.apply_wr_hits()
+        ks.emit_refreshes(refresh_sink, before_refresh)
+        if err == KERR_DECODE_RANGE:
+            # Raise the mapper's own out-of-range ValueError, with all
+            # partial state (stats, charges) already written back.
+            self._mapper._check_range(int(ks.st[St.ERR_ADDR]))
+            raise AssertionError("decode error did not reproduce")
+        release = ks.req_release
+        service = ks.req_service
+        for i, request in enumerate(requests):
+            request.release = int(release[i])
+            request.service_ps = int(service[i])
+        return True
+
+    def _kernel_run_batch(self, ks) -> int:
+        backend = self._kernel_backend
+        run_state = getattr(backend, "serve_batch_state", None)
+        if run_state is not None:  # pure-Python mirror (REPRO_KERNEL=py)
+            return run_state(ks)
+        return int(backend.serve_batch(ks.pointer_table()))
 
     def _make_service_fast(self):
         """Build the batched flat-path service loop (constants closed over).

@@ -360,6 +360,9 @@ class Session:
         system = self.system
         config = system.config
         tiles = system.tiles
+        for smc in system.smcs:
+            smc.stats.trcd_memo_capped = \
+                smc.tile.device.cells.trcd_memo_capped
         scheduling_ps = sum(t.stats.scheduling_ps for t in tiles)
         dram_busy_ps = sum(t.stats.dram_busy_ps for t in tiles)
         total_sched_cycles = sum(s.stats.total_sched_cycles

@@ -71,11 +71,24 @@ class CellModelConfig:
 class CellArrayModel:
     """Deterministic per-row strength and RowClone-reliability oracle."""
 
+    #: Per-row minimum-tRCD memo cap (entries).  1M (bank, row) pairs
+    #: cover every experiment topology outright; on larger synthetic
+    #: geometries long multi-mix sweeps stop inserting past the cap and
+    #: recompute instead (the derivation is pure), so the memo's host
+    #: memory stays bounded.  Skipped inserts are counted and surfaced
+    #: as ``SmcStats.trcd_memo_capped``.
+    TRCD_CACHE_LIMIT = 1 << 20
+
     def __init__(self, geometry: Geometry,
-                 config: CellModelConfig | None = None) -> None:
+                 config: CellModelConfig | None = None,
+                 cache_limit: int | None = None) -> None:
         self.geometry = geometry
         self.config = config or CellModelConfig()
+        self.cache_limit = (self.TRCD_CACHE_LIMIT if cache_limit is None
+                            else cache_limit)
         self._row_trcd_cache: dict[tuple[int, int], int] = {}
+        #: Inserts skipped because the memo was at :attr:`cache_limit`.
+        self.trcd_memo_capped = 0
 
     # -- access-latency margins -------------------------------------------
 
@@ -104,7 +117,10 @@ class CellArrayModel:
         else:
             lo, hi = cfg.strong_min_ps, cfg.strong_max_ps
         value = lo + int(jitter * (hi - lo))
-        self._row_trcd_cache[key] = value
+        if len(self._row_trcd_cache) < self.cache_limit:
+            self._row_trcd_cache[key] = value
+        else:
+            self.trcd_memo_capped += 1
         return value
 
     def row_is_strong(self, bank: int, row: int) -> bool:

@@ -1,0 +1,157 @@
+"""Compile and load the C batch kernel (gcc + ctypes).
+
+The container bakes in a C toolchain but no numba/Cython, so the
+compiled backend is plain C: :func:`load` renders the layout
+``#define`` header from :mod:`repro.dram.kernel.state`, prepends it to
+``kernel.c``, and builds a shared object with ``cc -O2 -shared -fPIC``
+into a source-hash-keyed cache under ``_cache/`` (gitignored).  A warm
+cache makes load a single ``dlopen``.
+
+Everything degrades gracefully: no compiler, a failed compile, or a
+stale ABI all surface as ``(None, reason)`` so the caller can fall back
+to the pure-Python mirror or disengage the kernel entirely.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import time
+from pathlib import Path
+
+from repro.dram.kernel import state
+
+#: Bumped when the entry-point contract changes; checked against the
+#: compiled object's ``repro_abi_version`` so a stale cached build from
+#: an older checkout can never be called with the wrong layout.
+ABI_VERSION = 2
+
+_HERE = Path(__file__).resolve().parent
+_SOURCE = _HERE / "kernel.c"
+_CACHE_DIR = _HERE / "_cache"
+
+#: Load outcome, memoized for the process: (lib or None, reason string,
+#: info dict for the bench/profile layers).
+_loaded: tuple | None = None
+
+
+class CKernel:
+    """The loaded shared object with typed entry points."""
+
+    def __init__(self, lib: ctypes.CDLL, info: dict) -> None:
+        self.lib = lib
+        self.info = info
+        p64 = ctypes.POINTER(ctypes.c_int64)
+        table_t = ctypes.POINTER(p64)
+        for name in ("repro_serve_batch", "repro_run_block",
+                     "repro_finish_trace"):
+            fn = getattr(lib, name)
+            fn.argtypes = [table_t]
+            fn.restype = ctypes.c_int64
+        self.serve_batch = lib.repro_serve_batch
+        self.run_block = lib.repro_run_block
+        self.finish_trace = lib.repro_finish_trace
+
+
+def compiler() -> list[str] | None:
+    """The C compiler command, or ``None`` when unavailable."""
+    override = os.environ.get("REPRO_CC", "")
+    candidates = [override] if override else ["cc", "gcc", "clang"]
+    for cand in candidates:
+        try:
+            subprocess.run([cand, "--version"], capture_output=True,
+                           check=True, timeout=30)
+            return [cand]
+        except (OSError, subprocess.SubprocessError):
+            continue
+    return None
+
+
+def compiler_version(cmd: list[str] | None = None) -> str:
+    """First line of ``cc --version`` (bench provenance)."""
+    cmd = cmd if cmd is not None else compiler()
+    if cmd is None:
+        return "unavailable"
+    try:
+        out = subprocess.run(cmd + ["--version"], capture_output=True,
+                             check=True, timeout=30, text=True).stdout
+        return out.splitlines()[0].strip() if out else cmd[0]
+    except (OSError, subprocess.SubprocessError):
+        return cmd[0]
+
+
+def _render_source() -> str:
+    return state.render_defines() + "\n" + _SOURCE.read_text()
+
+
+def load() -> tuple[CKernel | None, str]:
+    """Build (or reuse) and load the kernel; ``(None, reason)`` on failure.
+
+    The result is memoized per process — the serve path asks on every
+    eligibility check.
+    """
+    global _loaded
+    if _loaded is not None:
+        return _loaded[0], _loaded[1]
+    kernel, reason = _load_uncached()
+    _loaded = (kernel, reason)
+    return kernel, reason
+
+
+def _load_uncached() -> tuple[CKernel | None, str]:
+    try:
+        source = _render_source()
+    except OSError as exc:
+        return None, f"kernel source unreadable: {exc}"
+    cmd = compiler()
+    version = compiler_version(cmd)
+    key = hashlib.sha256(
+        f"{version}\n{ABI_VERSION}\n{source}".encode()).hexdigest()[:16]
+    so_path = _CACHE_DIR / f"kernel-{key}.so"
+    build_seconds = 0.0
+    built = False
+    if not so_path.exists():
+        if cmd is None:
+            return None, "no C compiler available (cc/gcc/clang)"
+        c_path = _CACHE_DIR / f"kernel-{key}.c"
+        begin = time.perf_counter()
+        try:
+            _CACHE_DIR.mkdir(parents=True, exist_ok=True)
+            c_path.write_text(source)
+            proc = subprocess.run(
+                cmd + ["-O2", "-shared", "-fPIC", "-o", str(so_path),
+                       str(c_path)],
+                capture_output=True, text=True, timeout=300)
+        except (OSError, subprocess.SubprocessError) as exc:
+            return None, f"kernel compile failed: {exc}"
+        if proc.returncode != 0:
+            tail = (proc.stderr or "").strip().splitlines()[-3:]
+            return None, "kernel compile failed: " + " | ".join(tail)
+        build_seconds = time.perf_counter() - begin
+        built = True
+    try:
+        lib = ctypes.CDLL(str(so_path))
+        fn = lib.repro_abi_version
+        fn.restype = ctypes.c_int64
+        fn.argtypes = []
+        got = int(fn())
+    except (OSError, AttributeError) as exc:
+        return None, f"kernel load failed: {exc}"
+    if got != ABI_VERSION:
+        return None, f"kernel ABI mismatch (built {got}, want {ABI_VERSION})"
+    info = {
+        "backend": "c",
+        "compiler": version,
+        "build_seconds": round(build_seconds, 6),
+        "compiled_this_process": built,
+        "cache_path": str(so_path),
+    }
+    return CKernel(lib, info), "ok"
+
+
+def reset_for_tests() -> None:
+    """Drop the memoized load result (tests poke REPRO_CC)."""
+    global _loaded
+    _loaded = None

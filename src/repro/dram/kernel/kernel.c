@@ -1,0 +1,1340 @@
+/* Batch serve kernel for the software memory controller.
+ *
+ * Compiled by repro.dram.kernel.cbackend with the layout #defines
+ * generated from repro.dram.kernel.state prepended, so the field
+ * indices can never drift from the Python marshalling code.
+ *
+ * Three entry points, each taking the int64_t*[] slot table:
+ *
+ *   repro_serve_batch  -- one critical-mode episode over a sorted
+ *                         request batch (mirrors _make_service_fast /
+ *                         _make_service_single byte for byte on the
+ *                         emulated timeline).
+ *   repro_run_block    -- replay one AccessBlock through the gated
+ *                         processor model, servicing every clock gate
+ *                         in place (mirrors Processor._execute_burst_blocks
+ *                         plus the EventEngine block-mode gate closure).
+ *   repro_finish_trace -- the end-of-trace drain + final done-gate.
+ *
+ * Every formula below is a transcription of the Python fast path; the
+ * comments name the source (smc.py / device.py / flat_timing.py /
+ * timing_checker.py / processor.py / engine.py).  Divisions only ever
+ * see non-negative operands, so C truncation == Python floor.
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+#define C(f) ((int64_t)k->cfg[CFG_##f])
+#define S(f) k->st[ST_##f]
+
+/* Constraint codes, in CONSTRAINT_NAMES order (state.py). */
+#define CODE_POWER_ON 0
+#define CODE_TRC 1
+#define CODE_TRP 2
+#define CODE_TRRD_L 3
+#define CODE_TRRD_S 4
+#define CODE_TFAW 5
+#define CODE_TRFC 6
+#define CODE_TRCD 7
+#define CODE_TCCD_L 8
+#define CODE_TCCD_S 9
+#define CODE_TWTR 10
+#define CODE_BANKS_OPEN 11
+
+/* Flat command-kind codes (flat_timing.py). */
+#define K_ACT 0
+#define K_PRE 1
+#define K_PREA 2
+#define K_RD 3
+#define K_WR 4
+#define K_REF 5
+
+/* EventKind values (core/events.py). */
+#define EV_RELEASE 1
+#define EV_REFRESH 2
+
+/* memtrace access flags / request flags (state.py). */
+#define AF_WRITE 1
+#define AF_DEPENDENT 2
+#define RF_WRITEBACK 1
+#define RF_PREFETCH 2
+
+typedef struct {
+    const int64_t *cfg;
+    int64_t *st;
+    int64_t *last_act, *last_pre, *last_read, *last_write, *last_write_end;
+    int64_t *open_row, *prev_open_row, *act_count;
+    const int64_t *group_of;
+    int64_t *gmax_act, *gmax_cas, *faw_ring;
+    const int64_t *plan_n, *plan_kinds, *plan_offsets, *plan_cycles;
+    const int64_t *plan_charge, *plan_measured, *plan_postflush;
+    int64_t *viol;
+    const int64_t *mat_keys;
+    int64_t *wrhit;
+    const int64_t *req_tag, *req_addr, *req_flags, *req_core;
+    int64_t *req_release, *req_service, *tracker;
+    int64_t *tbl;
+    const int64_t *blk_flags, *blk_gap, *blk_addr;
+    int64_t *blk_lat, *blk_fill;
+    int64_t *blk_wbidx, *blk_wbaddr;
+    int64_t *pend_tag, *pend_addr, *pend_flags, *pend_rid, *pend_release;
+    int64_t *out_tag, *out_issue, *out_release, *out_rid;
+    int64_t *heap, *latencies;
+    int64_t *c1_tags, *c1_dirty, *c1_stamps, *c1_count, *c1_mru;
+    int64_t *c2_tags, *c2_dirty, *c2_stamps, *c2_count, *c2_mru;
+} K;
+
+static void bind(K *k, int64_t **p)
+{
+    k->cfg = p[P_CFG];
+    k->st = p[P_ST];
+    k->last_act = p[P_LAST_ACT];
+    k->last_pre = p[P_LAST_PRE];
+    k->last_read = p[P_LAST_READ];
+    k->last_write = p[P_LAST_WRITE];
+    k->last_write_end = p[P_LAST_WRITE_END];
+    k->open_row = p[P_OPEN_ROW];
+    k->prev_open_row = p[P_PREV_OPEN_ROW];
+    k->act_count = p[P_ACT_COUNT];
+    k->group_of = p[P_GROUP_OF];
+    k->gmax_act = p[P_GMAX_ACT];
+    k->gmax_cas = p[P_GMAX_CAS];
+    k->faw_ring = p[P_FAW_RING];
+    k->plan_n = p[P_PLAN_N];
+    k->plan_kinds = p[P_PLAN_KINDS];
+    k->plan_offsets = p[P_PLAN_OFFSETS];
+    k->plan_cycles = p[P_PLAN_CYCLES];
+    k->plan_charge = p[P_PLAN_CHARGE];
+    k->plan_measured = p[P_PLAN_MEASURED];
+    k->plan_postflush = p[P_PLAN_POSTFLUSH];
+    k->viol = p[P_VIOL];
+    k->mat_keys = p[P_MAT_KEYS];
+    k->wrhit = p[P_WRHIT];
+    k->req_tag = p[P_REQ_TAG];
+    k->req_addr = p[P_REQ_ADDR];
+    k->req_flags = p[P_REQ_FLAGS];
+    k->req_core = p[P_REQ_CORE];
+    k->req_release = p[P_REQ_RELEASE];
+    k->req_service = p[P_REQ_SERVICE];
+    k->tracker = p[P_TRACKER];
+    k->tbl = p[P_TBL];
+    k->blk_flags = p[P_BLK_FLAGS];
+    k->blk_gap = p[P_BLK_GAP];
+    k->blk_lat = p[P_BLK_LAT];
+    k->blk_fill = p[P_BLK_FILL];
+    k->blk_wbidx = p[P_BLK_WBIDX];
+    k->blk_wbaddr = p[P_BLK_WBADDR];
+    k->pend_tag = p[P_PEND_TAG];
+    k->pend_addr = p[P_PEND_ADDR];
+    k->pend_flags = p[P_PEND_FLAGS];
+    k->pend_rid = p[P_PEND_RID];
+    k->pend_release = p[P_PEND_RELEASE];
+    k->out_tag = p[P_OUT_TAG];
+    k->out_issue = p[P_OUT_ISSUE];
+    k->out_release = p[P_OUT_RELEASE];
+    k->out_rid = p[P_OUT_RID];
+    k->heap = p[P_HEAP];
+    k->latencies = p[P_LATENCIES];
+    k->blk_addr = p[P_BLK_ADDR];
+    k->c1_tags = p[P_C1_TAGS];
+    k->c1_dirty = p[P_C1_DIRTY];
+    k->c1_stamps = p[P_C1_STAMPS];
+    k->c1_count = p[P_C1_COUNT];
+    k->c1_mru = p[P_C1_MRU];
+    k->c2_tags = p[P_C2_TAGS];
+    k->c2_dirty = p[P_C2_DIRTY];
+    k->c2_stamps = p[P_C2_STAMPS];
+    k->c2_count = p[P_C2_COUNT];
+    k->c2_mru = p[P_C2_MRU];
+}
+
+/* -- address decode (AddressMapper.to_dram, address.py) ------------------- */
+
+static int64_t decode_addr(K *k, int64_t addr, int64_t *bank_out,
+                           int64_t *row_out, int64_t *col_out)
+{
+    int64_t total = C(TOTAL_BYTES);
+    if (addr < 0) {            /* _check_range raises for any negative */
+        S(ERR_ADDR) = addr;
+        return KERR_DECODE_RANGE;
+    }
+    if (addr >= total) {
+        if (C(STRICT_DECODE)) {
+            S(ERR_ADDR) = addr;
+            return KERR_DECODE_RANGE;
+        }
+        addr %= total;         /* permissive wrap */
+    }
+    int64_t line = addr / C(LINE_BYTES);
+    int64_t channels = C(CHANNELS);
+    if (channels > 1) {
+        /* _split_channel: keep the within-channel line only. */
+        int64_t mode = C(CH_MODE);
+        if (mode == 0) {                       /* slab */
+            line = line % C(LINES_PER_CHANNEL);
+        } else if (mode == 1) {                /* channel-line */
+            line = line / channels;
+        } else if (mode == 2) {                /* channel-row */
+            int64_t columns = C(COLUMNS);
+            int64_t span = line / columns;
+            int64_t col_part = line % columns;
+            line = (span / channels) * columns + col_part;
+        } else {                               /* channel-xor */
+            line = line / channels;            /* base */
+        }
+    }
+    int64_t bank, row, col;
+    if (C(ROW_MAJOR)) {
+        int64_t columns = C(COLUMNS), nb = C(DEC_BANKS);
+        col = line % columns;
+        int64_t block = line / columns;
+        bank = block % nb;
+        row = (block / nb) % C(ROWS);
+        if (C(SKEWED)) {
+            int64_t skew = row ^ (row >> 4) ^ (row >> 8);
+            bank = (bank + skew) % nb;
+        }
+    } else {
+        int64_t nb = C(DEC_BANKS), columns = C(COLUMNS);
+        bank = line % nb;
+        line /= nb;
+        col = line % columns;
+        row = (line / columns) % C(ROWS);
+    }
+    *bank_out = bank;
+    *row_out = row;
+    *col_out = col;
+    return KERN_OK;
+}
+
+/* -- violation log -------------------------------------------------------- */
+
+static int64_t viol_push(K *k, int64_t kind, int64_t bank, int64_t row,
+                         int64_t col, int64_t t, int64_t earliest,
+                         int64_t code)
+{
+    int64_t count = S(VIOL_COUNT);
+    if (count >= S(VIOL_CAP))
+        return KERR_VIOL_OVERFLOW;
+    int64_t *rec = k->viol + VIOL_STRIDE * count;
+    rec[0] = kind;
+    rec[1] = bank;
+    rec[2] = row;
+    rec[3] = col;
+    rec[4] = t;
+    rec[5] = earliest;
+    rec[6] = code;
+    S(VIOL_COUNT) = count + 1;
+    return KERN_OK;
+}
+
+/* -- checker candidate enumeration (timing_checker.py) --------------------
+ *
+ * Python resolves the binding constraint with max() over an ordered
+ * candidate list; max keeps the FIRST maximal element, so the C loops
+ * only replace the best on a strictly greater value.
+ */
+
+#define CAND(v, c) do { int64_t _v = (v); \
+        if (_v > best) { best = _v; code = (c); } } while (0)
+
+static void enum_act(K *k, int64_t bank, int64_t *e_out, int64_t *code_out)
+{
+    int64_t best = 0, code = CODE_POWER_ON;
+    CAND(k->last_act[bank] + C(TRC), CODE_TRC);
+    CAND(k->last_pre[bank] + C(TRP), CODE_TRP);
+    int64_t grp = k->group_of[bank], nb = C(NBANKS);
+    for (int64_t ob = 0; ob < nb; ob++) {
+        if (ob == bank)
+            continue;
+        if (k->group_of[ob] == grp)
+            CAND(k->last_act[ob] + C(TRRD_L), CODE_TRRD_L);
+        else
+            CAND(k->last_act[ob] + C(TRRD_S), CODE_TRRD_S);
+    }
+    int64_t len = S(FAW_LEN);
+    if (len < 4) {
+        CAND((int64_t)0, CODE_TFAW);
+    } else {
+        int64_t cap = C(FAW_CAP);
+        int64_t idx = (S(FAW_HEAD) + len - 4) % cap;
+        CAND(k->faw_ring[idx] + C(TFAW), CODE_TFAW);
+    }
+    CAND(S(LAST_REF) + C(TRFC), CODE_TRFC);
+    *e_out = best;
+    *code_out = code;
+}
+
+static void enum_cas(K *k, int64_t bank, int is_write, int64_t *e_out,
+                     int64_t *code_out)
+{
+    int64_t best = 0, code = CODE_POWER_ON;
+    CAND(k->last_act[bank] + C(TRCD), CODE_TRCD);
+    int64_t grp = k->group_of[bank], nb = C(NBANKS);
+    for (int64_t ob = 0; ob < nb; ob++) {
+        int64_t cas = k->last_read[ob] > k->last_write[ob]
+            ? k->last_read[ob] : k->last_write[ob];
+        if (k->group_of[ob] == grp)
+            CAND(cas + C(TCCD_L), CODE_TCCD_L);
+        else
+            CAND(cas + C(TCCD_S), CODE_TCCD_S);
+    }
+    if (!is_write) {
+        int64_t we = NEVER_PS;
+        for (int64_t ob = 0; ob < nb; ob++)
+            if (k->last_write_end[ob] > we)
+                we = k->last_write_end[ob];
+        CAND(we + C(TWTR), CODE_TWTR);
+    }
+    *e_out = best;
+    *code_out = code;
+}
+
+static void enum_ref(K *k, int64_t *e_out, int64_t *code_out)
+{
+    int64_t best = 0, code = CODE_POWER_ON;
+    int64_t nb = C(NBANKS);
+    for (int64_t b = 0; b < nb; b++) {
+        CAND(k->last_pre[b] + C(TRP), CODE_TRP);
+        if (k->open_row[b] >= 0)
+            CAND(FAR_FUTURE, CODE_BANKS_OPEN);
+    }
+    CAND(S(LAST_REF) + C(TRFC), CODE_TRFC);
+    *e_out = best;
+    *code_out = code;
+}
+
+/* -- per-command state transitions (device.py issue_plan / flat_timing) --- */
+
+static int64_t note_wr_hit(K *k, int64_t bank, int64_t row, int64_t col)
+{
+    /* A conventional WR to a materialized row resets the line to its
+     * filler pattern; log the hit for the driver to apply. */
+    int64_t n = S(NMAT);
+    if (!n || row < 0)
+        return KERN_OK;
+    int64_t key = (bank << 32) | row;
+    int64_t lo = 0, hi = n - 1;
+    while (lo <= hi) {
+        int64_t mid = (lo + hi) / 2;
+        int64_t v = k->mat_keys[mid];
+        if (v == key) {
+            int64_t count = S(WRHIT_COUNT);
+            if (count >= S(WRHIT_CAP))
+                return KERR_VIOL_OVERFLOW;
+            int64_t *rec = k->wrhit + WRHIT_STRIDE * count;
+            rec[0] = bank;
+            rec[1] = row;
+            rec[2] = col;
+            S(WRHIT_COUNT) = count + 1;
+            return KERN_OK;
+        }
+        if (v < key)
+            lo = mid + 1;
+        else
+            hi = mid - 1;
+    }
+    return KERN_OK;
+}
+
+static int64_t apply_act(K *k, int64_t bank, int64_t row, int64_t t)
+{
+    int64_t grp = k->group_of[bank];
+    k->last_act[bank] = t;
+    k->act_count[bank] += 1;
+    if (k->open_row[bank] < 0)
+        S(OPEN_COUNT) += 1;
+    k->open_row[bank] = row;
+    if (t > k->gmax_act[grp])
+        k->gmax_act[grp] = t;
+    if (t > S(MAX_ACT_ALL))
+        S(MAX_ACT_ALL) = t;
+    /* tFAW sliding window: append, then expire entries <= t - tFAW. */
+    int64_t cap = C(FAW_CAP), len = S(FAW_LEN), head = S(FAW_HEAD);
+    if (len >= cap)
+        return KERR_FAW_OVERFLOW;
+    k->faw_ring[(head + len) % cap] = t;
+    len += 1;
+    int64_t cutoff = t - C(TFAW);
+    while (len && k->faw_ring[head] <= cutoff) {
+        head = (head + 1) % cap;
+        len -= 1;
+    }
+    S(FAW_HEAD) = head;
+    S(FAW_LEN) = len;
+    S(CMD_ACT) += 1;
+    return KERN_OK;
+}
+
+static void apply_pre(K *k, int64_t bank, int64_t t)
+{
+    k->prev_open_row[bank] = k->open_row[bank];
+    if (k->open_row[bank] >= 0) {
+        S(OPEN_COUNT) -= 1;
+        k->open_row[bank] = -1;
+    }
+    k->last_pre[bank] = t;
+    if (t > S(MAX_PRE))
+        S(MAX_PRE) = t;
+    S(CMD_PRE) += 1;
+}
+
+static void apply_rd(K *k, int64_t bank, int64_t t)
+{
+    int64_t grp = k->group_of[bank];
+    k->last_read[bank] = t;
+    if (t > k->gmax_cas[grp])
+        k->gmax_cas[grp] = t;
+    if (t > S(MAX_CAS_ALL))
+        S(MAX_CAS_ALL) = t;
+    S(CMD_RD) += 1;
+}
+
+static int64_t apply_wr(K *k, int64_t bank, int64_t col, int64_t t)
+{
+    int64_t err = note_wr_hit(k, bank, k->open_row[bank], col);
+    if (err)
+        return err;
+    int64_t grp = k->group_of[bank];
+    int64_t data_end = t + C(WRITE_BURST);
+    k->last_write[bank] = t;
+    k->last_write_end[bank] = data_end;
+    if (t > k->gmax_cas[grp])
+        k->gmax_cas[grp] = t;
+    if (t > S(MAX_CAS_ALL))
+        S(MAX_CAS_ALL) = t;
+    if (data_end > S(MAX_WRITE_END))
+        S(MAX_WRITE_END) = data_end;
+    S(CMD_WR) += 1;
+    return KERN_OK;
+}
+
+/* Two-term earliest for an in-plan (non-leading) command; exact because
+ * the kernel only engages when device._inline_earliest holds. */
+static int64_t flat_earliest(K *k, int64_t kind, int64_t bank)
+{
+    int64_t e, v;
+    int64_t grp = k->group_of[bank];
+    if (kind == K_ACT) {
+        e = k->last_act[bank] + C(TRC);
+        v = k->last_pre[bank] + C(TRP);
+        if (v > e)
+            e = v;
+        v = S(MAX_ACT_ALL) + C(TRRD_S);
+        if (v > e)
+            e = v;
+        v = k->gmax_act[grp] + C(TRRD_L);
+        if (v > e)
+            e = v;
+        int64_t len = S(FAW_LEN);
+        if (len >= 4) {
+            int64_t cap = C(FAW_CAP);
+            v = k->faw_ring[(S(FAW_HEAD) + len - 4) % cap] + C(TFAW);
+            if (v > e)
+                e = v;
+        }
+        v = S(LAST_REF) + C(TRFC);
+        if (v > e)
+            e = v;
+    } else {                                   /* K_RD / K_WR */
+        e = k->last_act[bank] + C(TRCD);
+        v = S(MAX_CAS_ALL) + C(TCCD_S);
+        if (v > e)
+            e = v;
+        v = k->gmax_cas[grp] + C(TCCD_L);
+        if (v > e)
+            e = v;
+        if (kind == K_RD) {
+            v = S(MAX_WRITE_END) + C(TWTR);
+            if (v > e)
+                e = v;
+        }
+    }
+    return e;
+}
+
+/* device.issue_plan: walk a memoized plan from the precleared start. */
+static int64_t issue_plan_k(K *k, int64_t p, int64_t bank, int64_t row,
+                            int64_t col, int64_t start)
+{
+    int64_t n = k->plan_n[p];
+    int64_t tck = C(TCK);
+    int64_t t = start;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t kind = k->plan_kinds[3 * p + i];
+        t = start + k->plan_offsets[3 * p + i] * tck;
+        if (i) {
+            int64_t e = flat_earliest(k, kind, bank);
+            if (t < e) {
+                int64_t ee, code;
+                if (kind == K_ACT)
+                    enum_act(k, bank, &ee, &code);
+                else
+                    enum_cas(k, bank, kind == K_WR ? 1 : 0, &ee, &code);
+                int64_t err = viol_push(k, kind, bank, row, col, t, ee, code);
+                if (err)
+                    return err;
+            }
+        }
+        int64_t err = KERN_OK;
+        if (kind == K_ACT)
+            err = apply_act(k, bank, row, t);
+        else if (kind == K_PRE)
+            apply_pre(k, bank, t);
+        else if (kind == K_RD)
+            apply_rd(k, bank, t);
+        else if (kind == K_WR)
+            err = apply_wr(k, bank, col, t);
+        else
+            err = KERR_BAD_KIND;
+        if (err)
+            return err;
+    }
+    S(LAST_ISSUE) = t;
+    return KERN_OK;
+}
+
+/* device.issue_col: the single precleared RD/WR of a row hit. */
+static int64_t issue_col_k(K *k, int64_t kind, int64_t bank, int64_t col,
+                           int64_t t)
+{
+    int64_t err = KERN_OK;
+    if (kind == K_RD)
+        apply_rd(k, bank, t);
+    else if (kind == K_WR)
+        err = apply_wr(k, bank, col, t);
+    else
+        err = KERR_BAD_KIND;
+    if (err)
+        return err;
+    S(LAST_ISSUE) = t;
+    return KERN_OK;
+}
+
+/* -- event heap (EventQueue entries (time, seq, kind, payload)) ----------- */
+
+static int64_t heap_push(K *k, int64_t time, int64_t kind, int64_t payload)
+{
+    int64_t len = S(HEAP_LEN);
+    if (len >= S(HEAP_CAP))
+        return KERR_HEAP_OVERFLOW;
+    int64_t *h = k->heap;
+    int64_t seq = S(QSEQ);
+    S(QSEQ) = seq + 1;
+    int64_t i = len;
+    while (i > 0) {
+        int64_t parent = (i - 1) / 2;
+        int64_t *pe = h + 4 * parent;
+        /* (time, seq) lexicographic; seq values are unique. */
+        if (pe[0] < time || (pe[0] == time && pe[1] < seq))
+            break;
+        memcpy(h + 4 * i, pe, 4 * sizeof(int64_t));
+        i = parent;
+    }
+    int64_t *e = h + 4 * i;
+    e[0] = time;
+    e[1] = seq;
+    e[2] = kind;
+    e[3] = payload;
+    S(HEAP_LEN) = len + 1;
+    return KERN_OK;
+}
+
+static void heap_pop_discard(K *k)
+{
+    int64_t len = S(HEAP_LEN) - 1;
+    int64_t *h = k->heap;
+    S(HEAP_LEN) = len;
+    if (!len)
+        return;
+    int64_t e0 = h[4 * len], e1 = h[4 * len + 1];
+    int64_t e2 = h[4 * len + 2], e3 = h[4 * len + 3];
+    int64_t i = 0;
+    for (;;) {
+        int64_t child = 2 * i + 1;
+        if (child >= len)
+            break;
+        int64_t right = child + 1;
+        if (right < len) {
+            int64_t *cl = h + 4 * child, *cr = h + 4 * right;
+            if (cr[0] < cl[0] || (cr[0] == cl[0] && cr[1] < cl[1]))
+                child = right;
+        }
+        int64_t *ce = h + 4 * child;
+        if (e0 < ce[0] || (e0 == ce[0] && e1 < ce[1]))
+            break;
+        memcpy(h + 4 * i, ce, 4 * sizeof(int64_t));
+        i = child;
+    }
+    int64_t *e = h + 4 * i;
+    e[0] = e0;
+    e[1] = e1;
+    e[2] = e2;
+    e[3] = e3;
+}
+
+/* -- refresh episode (smc._maybe_refresh_flat) ---------------------------- */
+
+static int64_t refresh_episode(K *k, int block_mode)
+{
+    while (S(NEXT_REFRESH) <= S(SCHED_CURSOR)) {
+        S(CHARGED) = 0;        /* staging + accumulated charges discarded */
+        int64_t anchor = S(SCHED_CURSOR);
+        S(EXEC_ANCHOR) = anchor;
+        int64_t start = anchor >= S(DRAM_CURSOR) ? anchor : S(DRAM_CURSOR);
+        /* flat.earliest(K_PREA): worst bank's precharge bound, >= 0. */
+        int64_t e = 0, nb = C(NBANKS);
+        for (int64_t b = 0; b < nb; b++) {
+            int64_t v = k->last_act[b] + C(TRAS);
+            int64_t w = k->last_read[b] + C(TRTP);
+            if (w > v)
+                v = w;
+            w = k->last_write_end[b] + C(TWR);
+            if (w > v)
+                v = w;
+            if (v > e)
+                e = v;
+        }
+        if (e > start)
+            start = e;
+        /* PREA, precleared: every bank precharges at start. */
+        for (int64_t b = 0; b < nb; b++) {
+            k->prev_open_row[b] = k->open_row[b];
+            if (k->open_row[b] >= 0) {
+                S(OPEN_COUNT) -= 1;
+                k->open_row[b] = -1;
+            }
+            k->last_pre[b] = start;
+        }
+        if (start > S(MAX_PRE))
+            S(MAX_PRE) = start;
+        S(CMD_PREA) += 1;
+        S(LAST_ISSUE) = start;
+        /* REF at the fixed plan offset; legality checked (not precleared). */
+        int64_t t2 = start + C(REF_OFFSET);
+        int64_t er = S(MAX_PRE) + C(TRP);
+        int64_t v = S(LAST_REF) + C(TRFC);
+        if (v > er)
+            er = v;
+        if (S(OPEN_COUNT))
+            er = FAR_FUTURE;   /* unreachable: PREA just closed every bank */
+        if (er < 0)
+            er = 0;
+        if (t2 < er) {
+            int64_t ee, code;
+            enum_ref(k, &ee, &code);
+            int64_t err = viol_push(k, K_REF, 0, 0, 0, t2, ee, code);
+            if (err)
+                return err;
+        }
+        S(LAST_REF) = t2;
+        S(CMD_REF) += 1;
+        S(LAST_ISSUE) = t2;
+        S(B_PROGRAMS) += 1;
+        S(B_CYCLES) += C(REF_CYCLES);
+        S(DRAM_CURSOR) = start + C(REF_MEASURED);
+        S(T_DRAM_BUSY) += C(REF_MEASURED);
+        S(S_BATCHES) += 1;
+        S(CHARGED) = 0;        /* flush charges discarded */
+        S(S_REFRESHES) += 1;
+        S(T_REFRESHES) += 1;
+        if (C(STORM_FACTOR) > 1) {
+            S(REFRESH_INDEX) += 1;
+            if (S(REFRESH_INDEX) % C(STORM_FACTOR))
+                S(S_STORM) += 1;
+        }
+        if (block_mode) {
+            /* EventEngine._note_refresh, inlined. */
+            S(E_REFRESHES) += 1;
+            if (C(PROC_PERIOD)) {
+                int64_t err = heap_push(k, S(NEXT_REFRESH) / C(PROC_PERIOD),
+                                        EV_REFRESH, 0);
+                if (err)
+                    return err;
+            }
+        }
+        S(NEXT_REFRESH) += C(REFRESH_INTERVAL);
+        if (!C(PIPELINED) && S(DRAM_CURSOR) > S(SCHED_CURSOR))
+            S(SCHED_CURSOR) = S(DRAM_CURSOR);
+    }
+    return KERN_OK;
+}
+
+/* -- serve one request (smc._make_serve_flat) ----------------------------- */
+
+static int64_t serve_one(K *k, int64_t bank, int64_t row, int64_t col,
+                         int64_t is_wb, int64_t is_pref, int64_t core,
+                         int64_t *release_out, int64_t *service_out)
+{
+    int64_t sched_start = S(SCHED_CURSOR);
+    int64_t open = k->open_row[bank];
+    int64_t cse;
+    if (open == row) {
+        S(T_HITS) += 1;
+        cse = 0;
+    } else if (open < 0) {
+        S(T_MISSES) += 1;
+        cse = 1;
+    } else {
+        S(T_CONFLICTS) += 1;
+        cse = 2;
+    }
+    if (C(HAS_TRACKER)) {
+        int64_t *tr = k->tracker + 6 * core;
+        if (is_pref) {
+            tr[2] += 1;        /* prefetches */
+        } else {
+            if (is_wb)
+                tr[1] += 1;    /* writes */
+            else
+                tr[0] += 1;    /* reads */
+            tr[3 + cse] += 1;  /* row_hits / row_misses / row_conflicts */
+        }
+    }
+    int64_t p = 2 * cse + is_wb;
+    int64_t sched_cycles = S(CHARGED) + k->plan_charge[p];
+    S(CHARGED) = 0;
+    S(S_SCHED_CYCLES) += sched_cycles;
+    int64_t sched_ps = sched_cycles * C(MC_PERIOD);
+    S(T_SCHED_PS) += sched_ps;
+    int64_t start = sched_start + sched_ps;
+    S(EXEC_ANCHOR) = start;
+    if (S(DRAM_CURSOR) > start)
+        start = S(DRAM_CURSOR);
+    /* Earliest legal time of the leading command (inline two-term). */
+    int64_t e, v;
+    int64_t grp = k->group_of[bank];
+    if (cse == 0) {            /* RD/WR on the open row */
+        e = k->last_act[bank] + C(TRCD);
+        v = S(MAX_CAS_ALL) + C(TCCD_S);
+        if (v > e)
+            e = v;
+        v = k->gmax_cas[grp] + C(TCCD_L);
+        if (v > e)
+            e = v;
+        if (!is_wb) {
+            v = S(MAX_WRITE_END) + C(TWTR);
+            if (v > e)
+                e = v;
+        }
+    } else if (cse == 2) {     /* PRE (row conflict) */
+        e = k->last_act[bank] + C(TRAS);
+        v = k->last_read[bank] + C(TRTP);
+        if (v > e)
+            e = v;
+        v = k->last_write_end[bank] + C(TWR);
+        if (v > e)
+            e = v;
+    } else {                   /* ACT (closed bank) */
+        e = flat_earliest(k, K_ACT, bank);
+    }
+    if (e > start)
+        start = e;
+    int64_t err;
+    if (cse)
+        err = issue_plan_k(k, p, bank, row, col, start);
+    else
+        err = issue_col_k(k, k->plan_kinds[3 * p], bank, col, start);
+    if (err)
+        return err;
+    S(B_PROGRAMS) += 1;
+    S(B_CYCLES) += k->plan_cycles[p];
+    int64_t measured = k->plan_measured[p];
+    int64_t dram_end = start + measured;
+    S(DRAM_CURSOR) = dram_end;
+    S(T_DRAM_BUSY) += measured;
+    S(S_BATCHES) += 1;
+    int64_t release_ps = dram_end + (is_wb ? C(LAT_WR) : C(LAT_RD))
+        + C(RESP_BUS);
+    int64_t pp = C(PROC_PERIOD);
+    *release_out = (release_ps + pp - 1) / pp;   /* ceil, operands >= 0 */
+    if (service_out)
+        *service_out = dram_end - sched_start;
+    if (is_wb)
+        S(S_WRITES) += 1;
+    else if (is_pref)
+        S(S_PREFETCHES) += 1;
+    else
+        S(S_READS) += 1;
+    S(CHARGED) = 0;            /* discarded rdback/enqueue charges */
+    S(T_RESPONSES) += 1;
+    if (C(PIPELINED)) {
+        int64_t occupied = sched_start + C(OCCUPANCY);
+        if (occupied > S(SCHED_CURSOR))
+            S(SCHED_CURSOR) = occupied;
+    } else {
+        int64_t cursor = sched_start + sched_ps + k->plan_postflush[p];
+        if (dram_end > cursor)
+            cursor = dram_end;
+        S(SCHED_CURSOR) = cursor;
+    }
+    return KERN_OK;
+}
+
+/* -- one critical-mode episode (smc._make_service_fast) -------------------
+ *
+ * ``arrivals`` must be sorted by tag (stable).  Covers the n == 1 shape
+ * exactly: the singleton specialization differs only in when charges
+ * accumulate, which is unobservable because charged_cycles is read only
+ * at serve time (and zeroed by refresh episodes) -- the sums at every
+ * read point are identical.
+ */
+
+static int64_t episode(K *k, int64_t n, const int64_t *tag,
+                       const int64_t *addr, const int64_t *flags,
+                       const int64_t *core, int64_t *release,
+                       int64_t *service, int block_mode)
+{
+    /* counters.enter_critical() */
+    if (!S(CNT_CRITICAL)) {
+        S(CNT_CRITICAL) = 1;
+        S(CNT_CRIT_ENTRIES) += 1;
+        S(CNT_LOCKED_AT) = S(CNT_PROC);
+    }
+    S(CHARGED) += C(TOGGLE);   /* set_scheduling_state(True) */
+    S(CRITICAL) = 1;
+    int64_t pp = C(PROC_PERIOD), bus = C(REQ_BUS);
+    int64_t now = tag[0] * pp + bus;
+    if (S(SCHED_CURSOR) > now)
+        now = S(SCHED_CURSOR);
+    S(SCHED_CURSOR) = now;
+    int64_t pos = 0, tcount = 0;
+    int64_t *tbl = k->tbl;
+    int frfcfs = (int)C(SCHED_FRFCFS);
+    while (pos < n || tcount) {
+        int64_t cursor = S(SCHED_CURSOR);
+        while (pos < n) {
+            int64_t arrival = tag[pos] * pp + bus;
+            if (arrival <= cursor || !tcount) {
+                S(T_REQUESTS) += 1;
+                S(CHARGED) += C(TRANSFER_CHARGE);
+                int64_t bank, row, col;
+                int64_t err = decode_addr(k, addr[pos], &bank, &row, &col);
+                if (err)
+                    return err;
+                int64_t *ent = tbl + TBL_STRIDE * tcount;
+                ent[0] = S(ARRIVAL_COUNTER);
+                S(ARRIVAL_COUNTER) += 1;
+                ent[1] = pos;
+                ent[2] = bank;
+                ent[3] = row;
+                ent[4] = col;
+                ent[5] = flags[pos] & RF_WRITEBACK;
+                tcount += 1;
+                if (arrival > cursor)
+                    cursor = arrival;
+                pos += 1;
+            } else {
+                break;
+            }
+        }
+        S(SCHED_CURSOR) = cursor;
+        if (!tcount) {
+            int64_t next_arrival = tag[pos] * pp + bus;
+            if (next_arrival > cursor)
+                S(SCHED_CURSOR) = next_arrival;
+            continue;
+        }
+        if (C(REFRESH_ENABLED) && S(NEXT_REFRESH) <= S(SCHED_CURSOR)) {
+            int64_t err = refresh_episode(k, block_mode);
+            if (err)
+                return err;
+        }
+        S(CHARGED) += C(DECISION_BASE) + C(DECISION_PER) * tcount;
+        /* Scheduler select (schedulers.py select_flat; count == 1 pops
+         * directly on both policies -- same entry either way). */
+        int64_t pick = 0;
+        if (tcount > 1 && frfcfs) {
+            int64_t *first = tbl;
+            int64_t *last = tbl + TBL_STRIDE * (tcount - 1);
+            int64_t age_cap = C(AGE_CAP);
+            if (age_cap >= 0 && last[0] - first[0] >= age_cap) {
+                pick = 0;
+            } else if (!first[5] && k->open_row[first[2]] == first[3]) {
+                pick = 0;      /* oldest is a row-hit read: take it */
+            } else {
+                int64_t best_key = INT64_MAX;
+                for (int64_t j = 0; j < tcount; j++) {
+                    int64_t *ent = tbl + TBL_STRIDE * j;
+                    int64_t key = ent[0];
+                    if (ent[5])
+                        key += (int64_t)2 << 60;
+                    if (k->open_row[ent[2]] != ent[3])
+                        key += (int64_t)1 << 60;
+                    if (key < best_key) {
+                        best_key = key;
+                        pick = j;
+                    }
+                }
+            }
+        }
+        int64_t *ent = tbl + TBL_STRIDE * pick;
+        int64_t idx = ent[1];
+        int64_t fl = flags[idx];
+        int64_t rel, svc;
+        int64_t err = serve_one(k, ent[2], ent[3], ent[4], ent[5],
+                                (fl & RF_PREFETCH) ? 1 : 0,
+                                core ? core[idx] : 0, &rel, &svc);
+        if (err)
+            return err;
+        release[idx] = rel;
+        if (service)
+            service[idx] = svc;
+        if (pick < tcount - 1)
+            memmove(ent, ent + TBL_STRIDE,
+                    (size_t)(tcount - 1 - pick) * TBL_STRIDE
+                    * sizeof(int64_t));
+        tcount -= 1;
+    }
+    S(CHARGED) += C(TOGGLE);   /* set_scheduling_state(False) */
+    S(CRITICAL) = 0;
+    /* _sync_mc_counter: advance-only (backwards would raise in Python). */
+    int64_t point = S(SCHED_CURSOR) > S(DRAM_CURSOR)
+        ? S(SCHED_CURSOR) : S(DRAM_CURSOR);
+    int64_t cycle = point / pp;
+    if (cycle > S(CNT_MC))
+        S(CNT_MC) = cycle;
+    /* counters.exit_critical() */
+    S(CNT_CRITICAL) = 0;
+    if (S(CNT_MC) > S(CNT_PROC)) {
+        S(CNT_CATCHUP) += S(CNT_MC) - S(CNT_PROC);
+        S(CNT_PROC) = S(CNT_MC);
+    }
+    return KERN_OK;
+}
+
+#undef CAND
+
+/* -- block-mode gate (EventEngine run_trace block-mode closure) ----------- */
+
+static int64_t gate(K *k, int64_t cycles, int done)
+{
+    /* counters.advance_processor(cycles) */
+    if (cycles > S(CNT_PROC))
+        S(CNT_PROC) = cycles;
+    int64_t np = S(PEND_COUNT);
+    if (!np) {
+        if (done)
+            return KERN_OK;
+        return KERR_DEADLOCK;
+    }
+    if (!done)
+        S(E_GATES) += 1;
+    /* pend requests are created in non-decreasing tag order, so the
+     * buffer already matches Python's stable sort-by-tag. */
+    int64_t err = episode(k, np, k->pend_tag, k->pend_addr, k->pend_flags,
+                          (const int64_t *)0, k->pend_release,
+                          (int64_t *)0, 1);
+    if (err)
+        return err;
+    S(E_BATCHED) += 1;
+    S(E_RELEASES) += np;
+    /* In Python the MLP window and the pending batch share request
+     * objects, so the episode's release assignments are visible to the
+     * replay loop; here the windows are separate arrays -- propagate by
+     * rid.  Unreleased window entries can only be fills from this very
+     * batch (every earlier gate released everything it held). */
+    int64_t oc = S(OUT_COUNT);
+    for (int64_t m = 0; m < oc; m++) {
+        if (k->out_release[m] >= 0)
+            continue;
+        int64_t rid = k->out_rid[m];
+        for (int64_t j = 0; j < np; j++) {
+            if (k->pend_rid[j] == rid) {
+                k->out_release[m] = k->pend_release[j];
+                break;
+            }
+        }
+    }
+    for (int64_t j = 0; j < np; j++) {
+        err = heap_push(k, k->pend_release[j], EV_RELEASE, k->pend_rid[j]);
+        if (err)
+            return err;
+    }
+    S(PEND_COUNT) = 0;
+    if (done)
+        return KERN_OK;
+    /* Drain events the processor's jump already passed. */
+    while (S(HEAP_LEN) && k->heap[0] <= cycles) {
+        heap_pop_discard(k);
+        S(E_SKIPPED) += 1;
+    }
+    return KERN_OK;
+}
+
+static int64_t pend_append(K *k, int64_t tag, int64_t addr, int64_t flags)
+{
+    int64_t count = S(PEND_COUNT);
+    if (count >= S(PEND_CAP))
+        return KERR_PEND_OVERFLOW;
+    k->pend_tag[count] = tag;
+    k->pend_addr[count] = addr;
+    k->pend_flags[count] = flags;
+    k->pend_rid[count] = S(NEXT_RID);
+    S(NEXT_RID) += 1;
+    k->pend_release[count] = -1;
+    S(PEND_COUNT) = count + 1;
+    return KERN_OK;
+}
+
+static int64_t lat_append(K *k, int64_t delta)
+{
+    int64_t count = S(LAT_COUNT);
+    if (count >= S(LAT_CAP))
+        return KERR_PEND_OVERFLOW;
+    k->latencies[count] = delta > 0 ? delta : 0;
+    S(LAT_COUNT) = count + 1;
+    return KERN_OK;
+}
+
+/* -- resident cache filter (CacheHierarchy.access_block, cpu/cache.py) ---- */
+
+/* L2 probe with LRU/dirty touch; returns the hit slot or -1. */
+static int64_t l2_touch(K *k, int64_t s2, int64_t t2, int set_dirty)
+{
+    int64_t a2 = C(C2_ASSOC);
+    int64_t *ts2 = k->c2_tags + s2 * a2;
+    int64_t c2 = k->c2_count[s2];
+    int64_t slot = k->c2_mru[s2];
+    if (slot >= 0 && slot < c2 && ts2[slot] == t2) {
+        ;
+    } else {
+        slot = -1;
+        for (int64_t w = 0; w < c2; w++) {
+            if (ts2[w] == t2) {
+                slot = w;
+                k->c2_mru[s2] = w;
+                break;
+            }
+        }
+    }
+    if (slot < 0)
+        return -1;
+    k->c2_stamps[s2 * a2 + slot] = S(C2_TICK);
+    S(C2_TICK) += 1;
+    if (set_dirty)
+        k->c2_dirty[s2 * a2 + slot] = 1;
+    S(C2_HITS) += 1;
+    return slot;
+}
+
+/* L2 fill of a known-absent line; logs an access-i writeback on dirty
+ * eviction.  The wbidx/wbaddr buffers are driver-sized for the worst
+ * case (two writebacks per access), so no bounds check is needed. */
+static void l2_fill(K *k, int64_t s2, int64_t t2, int dirty, int64_t i,
+                    int64_t *nwb)
+{
+    int64_t a2 = C(C2_ASSOC);
+    int64_t base = s2 * a2;
+    int64_t *ts2 = k->c2_tags + base;
+    int64_t c2 = k->c2_count[s2];
+    int64_t vslot;
+    S(C2_MISSES) += 1;
+    if (c2 >= a2) {
+        int64_t *st2 = k->c2_stamps + base;
+        int64_t best = st2[0];
+        vslot = 0;
+        for (int64_t w = 1; w < a2; w++) {
+            if (st2[w] < best) {   /* first-minimum, like list.index(min) */
+                best = st2[w];
+                vslot = w;
+            }
+        }
+        if (k->c2_dirty[base + vslot]) {
+            S(C2_WB) += 1;
+            k->blk_wbidx[*nwb] = i;
+            k->blk_wbaddr[*nwb] = (ts2[vslot] * C(C2_SETS) + s2)
+                * C(C_LINE_BYTES);
+            *nwb += 1;
+        }
+        ts2[vslot] = t2;
+        k->c2_dirty[base + vslot] = dirty;
+        st2[vslot] = S(C2_TICK);
+    } else {
+        vslot = c2;
+        ts2[vslot] = t2;
+        k->c2_dirty[base + vslot] = dirty;
+        k->c2_stamps[base + vslot] = S(C2_TICK);
+        k->c2_count[s2] = c2 + 1;
+    }
+    S(C2_TICK) += 1;
+    k->c2_mru[s2] = vslot;
+}
+
+/* The fused two-level block filter: fills blk_lat/blk_fill per access
+ * and the blk_wbidx/blk_wbaddr pairs, bit-identical to the Python
+ * access_block scan (same probe order, same first-min LRU eviction). */
+static void filter_block(K *k)
+{
+    int64_t n = S(BLK_N);
+    int64_t lb = C(C_LINE_BYTES);
+    int64_t n1 = C(C1_SETS), a1 = C(C1_ASSOC);
+    int64_t n2 = C(C2_SETS);
+    int64_t hit1 = C(C1_HIT), hit12 = C(C2_HIT12);
+    int64_t miss_lat = C(C_MISS_LAT);
+    int64_t nwb = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t line = k->blk_addr[i] / lb;
+        int is_write = (int)(k->blk_flags[i] & AF_WRITE);
+        int64_t s1 = line % n1, t1 = line / n1;
+        int64_t base1 = s1 * a1;
+        int64_t *ts1 = k->c1_tags + base1;
+        int64_t c1 = k->c1_count[s1];
+        /* -- L1 probe (MRU slot first) ---------------------------------- */
+        int64_t slot = k->c1_mru[s1];
+        if (slot >= 0 && slot < c1 && ts1[slot] == t1) {
+            ;
+        } else {
+            slot = -1;
+            for (int64_t w = 0; w < c1; w++) {
+                if (ts1[w] == t1) {
+                    slot = w;
+                    k->c1_mru[s1] = w;
+                    break;
+                }
+            }
+        }
+        if (slot >= 0) {
+            k->c1_stamps[base1 + slot] = S(C1_TICK);
+            S(C1_TICK) += 1;
+            if (is_write)
+                k->c1_dirty[base1 + slot] = 1;
+            S(C1_HITS) += 1;
+            k->blk_lat[i] = hit1;
+            k->blk_fill[i] = -1;
+            continue;
+        }
+        S(C1_MISSES) += 1;
+        /* -- L2 probe --------------------------------------------------- */
+        int64_t s2 = line % n2, t2 = line / n2;
+        if (l2_touch(k, s2, t2, 0) >= 0) {
+            k->blk_lat[i] = hit12;
+            k->blk_fill[i] = -1;
+        } else {
+            l2_fill(k, s2, t2, 0, i, &nwb);
+            k->blk_lat[i] = miss_lat;
+            k->blk_fill[i] = line * lb;
+        }
+        /* -- install into L1 (line known absent) ------------------------ */
+        int64_t vslot;
+        if (c1 >= a1) {
+            int64_t *st1 = k->c1_stamps + base1;
+            int64_t best = st1[0];
+            vslot = 0;
+            for (int64_t w = 1; w < a1; w++) {
+                if (st1[w] < best) {
+                    best = st1[w];
+                    vslot = w;
+                }
+            }
+            if (k->c1_dirty[base1 + vslot]) {
+                S(C1_WB) += 1;
+                int64_t victim = ts1[vslot] * n1 + s1;
+                /* Dirty L1 victim folds into L2. */
+                int64_t sv = victim % n2, tv = victim / n2;
+                if (l2_touch(k, sv, tv, 1) < 0)
+                    l2_fill(k, sv, tv, 1, i, &nwb);
+            }
+            ts1[vslot] = t1;
+            k->c1_dirty[base1 + vslot] = is_write;
+            k->c1_stamps[base1 + vslot] = S(C1_TICK);
+        } else {
+            vslot = c1;
+            ts1[vslot] = t1;
+            k->c1_dirty[base1 + vslot] = is_write;
+            k->c1_stamps[base1 + vslot] = S(C1_TICK);
+            k->c1_count[s1] = c1 + 1;
+        }
+        S(C1_TICK) += 1;
+        k->c1_mru[s1] = vslot;
+    }
+    S(BLK_NWB) = nwb;
+}
+
+/* -- entry points --------------------------------------------------------- */
+
+int64_t repro_abi_version(void)
+{
+    return 2;
+}
+
+int64_t repro_serve_batch(int64_t **p)
+{
+    K kk;
+    K *k = &kk;
+    bind(k, p);
+    return episode(k, S(N_REQ), k->req_tag, k->req_addr, k->req_flags,
+                   k->req_core, k->req_release, k->req_service, 0);
+}
+
+/* Replay one AccessBlock (Processor._execute_burst_blocks body) with the
+ * engine's gate serviced in place. */
+int64_t repro_run_block(int64_t **p)
+{
+    K kk;
+    K *k = &kk;
+    bind(k, p);
+    if (S(HAS_CACHE))
+        filter_block(k);   /* one call per block, so POS/WB_PTR are 0 */
+    int64_t n = S(BLK_N), nwb = S(BLK_NWB);
+    int64_t i = S(POS), wb_ptr = S(WB_PTR);
+    int64_t cycles = S(P_CYCLES);
+    int64_t accesses = S(P_ACCESSES), loads = S(P_LOADS);
+    int64_t stores = S(P_STORES), compute = S(P_COMPUTE);
+    int64_t stalls = S(P_STALLS);
+    int64_t mlp = C(MLP), window = C(WINDOW);
+    int64_t err = KERN_OK;
+    while (i < n) {
+        int64_t flag = k->blk_flags[i];
+        int64_t oc = S(OUT_COUNT);
+        if (oc && ((flag & AF_DEPENDENT) || oc >= mlp
+                   || accesses - k->out_issue[0] >= window)) {
+            if (flag & AF_DEPENDENT) {
+                /* A dependent access consumes *every* outstanding fill. */
+                int blocked = 0;
+                for (int64_t j = 0; j < oc; j++) {
+                    if (k->out_release[j] < 0) {
+                        blocked = 1;
+                        break;
+                    }
+                }
+                if (blocked) {
+                    S(P_CYCLES) = cycles;
+                    S(P_STALLS) = stalls;
+                    err = gate(k, cycles, 0);
+                    if (err)
+                        break;
+                    continue;
+                }
+                for (int64_t j = 0; j < oc; j++) {
+                    int64_t rel = k->out_release[j];
+                    if (rel > cycles) {
+                        stalls += rel - cycles;
+                        cycles = rel;
+                    }
+                    err = lat_append(k, rel - k->out_tag[j]);
+                    if (err)
+                        break;
+                }
+                if (err)
+                    break;
+                S(OUT_COUNT) = 0;
+            } else {
+                int64_t rel = k->out_release[0];
+                if (rel < 0) {
+                    S(P_CYCLES) = cycles;
+                    S(P_STALLS) = stalls;
+                    err = gate(k, cycles, 0);
+                    if (err)
+                        break;
+                    continue;
+                }
+                if (rel > cycles) {
+                    stalls += rel - cycles;
+                    cycles = rel;
+                }
+                err = lat_append(k, rel - k->out_tag[0]);
+                if (err)
+                    break;
+                memmove(k->out_tag, k->out_tag + 1,
+                        (size_t)(oc - 1) * sizeof(int64_t));
+                memmove(k->out_issue, k->out_issue + 1,
+                        (size_t)(oc - 1) * sizeof(int64_t));
+                memmove(k->out_release, k->out_release + 1,
+                        (size_t)(oc - 1) * sizeof(int64_t));
+                memmove(k->out_rid, k->out_rid + 1,
+                        (size_t)(oc - 1) * sizeof(int64_t));
+                S(OUT_COUNT) = oc - 1;
+            }
+            continue;          /* re-check the same access */
+        }
+        /* Execute the access. */
+        accesses += 1;
+        if (flag & AF_WRITE)
+            stores += 1;
+        else
+            loads += 1;
+        int64_t gap = k->blk_gap[i];
+        if (gap) {
+            cycles += gap;
+            compute += gap;
+        }
+        cycles += k->blk_lat[i];
+        while (wb_ptr < nwb && k->blk_wbidx[wb_ptr] == i) {
+            S(P_WB_REQ) += 1;
+            err = pend_append(k, cycles, k->blk_wbaddr[wb_ptr],
+                              RF_WRITEBACK);
+            if (err)
+                break;
+            wb_ptr += 1;
+        }
+        if (err)
+            break;
+        int64_t fill = k->blk_fill[i];
+        if (fill >= 0) {
+            S(P_LLC_MISS) += 1;
+            int64_t rid = S(NEXT_RID);   /* pend_append advances it */
+            err = pend_append(k, cycles, fill, 0);
+            if (err)
+                break;
+            int64_t c = S(OUT_COUNT);    /* < mlp here, cap >= mlp + 1 */
+            k->out_tag[c] = cycles;
+            k->out_issue[c] = accesses;
+            k->out_release[c] = -1;
+            k->out_rid[c] = rid;
+            S(OUT_COUNT) = c + 1;
+        }
+        i += 1;
+    }
+    S(POS) = i;
+    S(WB_PTR) = wb_ptr;
+    S(P_CYCLES) = cycles;
+    S(P_ACCESSES) = accesses;
+    S(P_LOADS) = loads;
+    S(P_STORES) = stores;
+    S(P_COMPUTE) = compute;
+    S(P_STALLS) = stalls;
+    return err;
+}
+
+/* End of trace: drain the MLP window (gating until every outstanding
+ * fill has a release), then run the final done-gate. */
+int64_t repro_finish_trace(int64_t **p)
+{
+    K kk;
+    K *k = &kk;
+    bind(k, p);
+    for (;;) {
+        int64_t oc = S(OUT_COUNT);
+        int blocked = 0;
+        for (int64_t j = 0; j < oc; j++) {
+            if (k->out_release[j] < 0) {
+                blocked = 1;
+                break;
+            }
+        }
+        if (!blocked)
+            break;
+        int64_t err = gate(k, S(P_CYCLES), 0);
+        if (err)
+            return err;
+    }
+    int64_t oc = S(OUT_COUNT);
+    int64_t cycles = S(P_CYCLES), stalls = S(P_STALLS);
+    for (int64_t j = 0; j < oc; j++) {
+        int64_t rel = k->out_release[j];
+        if (rel > cycles) {
+            stalls += rel - cycles;
+            cycles = rel;
+        }
+        int64_t err = lat_append(k, rel - k->out_tag[j]);
+        if (err)
+            return err;
+    }
+    S(OUT_COUNT) = 0;
+    S(P_CYCLES) = cycles;
+    S(P_STALLS) = stalls;
+    S(DONE) = 1;
+    return gate(k, cycles, 1);
+}

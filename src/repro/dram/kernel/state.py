@@ -1,0 +1,754 @@
+"""Struct-of-arrays export of the SMC serve state for the batch kernel.
+
+The kernel executes whole critical-mode episodes outside Python, so every
+piece of state the serve loop reads or writes must cross the boundary as
+flat ``int64`` storage.  This module is the single source of truth for
+that layout:
+
+* :data:`CFG_FIELDS` — run-constant scalars (timing parameters, cost
+  model charges, decode geometry, scheduler policy).  Compiled into the
+  C backend as ``#define`` constants and into :class:`Cfg` /
+  :class:`St` / :class:`Ptr` index namespaces for the pure-Python
+  mirror, so the two backends can never disagree about the layout.
+* :data:`ST_FIELDS` — mutable scalars (cursors, counters, statistics).
+  Loaded from the live objects before a kernel call and stored back
+  after; the object state remains authoritative between calls.
+* :data:`PTR_FIELDS` — the array slot table.  A kernel entry point
+  receives one ``int64*[]`` indexed by these names, covering the
+  per-bank timing arrays, the memoized plans, the request batch, the
+  violation/latency logs and (block mode) the replay inputs, the
+  pending-request buffers and the event heap.
+
+:class:`KernelState` owns the arrays and the load/store marshalling; it
+is deliberately dumb — every formula lives in the kernel itself (C or
+:mod:`repro.dram.kernel.pykernel`), this file only moves values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.bank import NEVER
+
+#: Run-constant scalar slots (``cfg[]``).
+CFG_FIELDS = (
+    # timing parameters (ps)
+    "TCK", "TRCD", "TCCD_S", "TCCD_L", "TWTR", "TRC", "TRP",
+    "TRRD_S", "TRRD_L", "TRAS", "TRTP", "TWR", "TFAW", "TRFC",
+    "LAT_RD", "LAT_WR", "WRITE_BURST",
+    # clock domains / bus charges (ps except the cycle counts)
+    "PROC_PERIOD", "MC_PERIOD", "REQ_BUS", "RESP_BUS",
+    "OCCUPANCY", "PIPELINED",
+    # cost model (controller cycles)
+    "TRANSFER_CHARGE", "TOGGLE", "DECISION_BASE", "DECISION_PER",
+    # scheduler: 0 = FCFS, 1 = FR-FCFS; AGE_CAP < 0 = uncapped
+    "SCHED_FRFCFS", "AGE_CAP",
+    # refresh cadence
+    "REFRESH_ENABLED", "REFRESH_INTERVAL", "STORM_FACTOR",
+    "REF_CYCLES", "REF_OFFSET", "REF_MEASURED",
+    # topology
+    "NBANKS", "NGROUPS", "FAW_CAP",
+    # per-core attribution
+    "HAS_TRACKER", "NCORES",
+    # address decode (mirrors AddressMapper)
+    "STRICT_DECODE", "LINE_BYTES", "TOTAL_BYTES", "COLUMNS", "ROWS",
+    "DEC_BANKS", "ROW_MAJOR", "SKEWED",
+    "CHANNELS", "CH_MODE", "LINES_PER_CHANNEL", "CH_POW2",
+    # processor replay (block mode)
+    "MLP", "WINDOW",
+    # cache hierarchy (block mode, HAS_CACHE): geometry and latencies
+    "C1_SETS", "C1_ASSOC", "C1_HIT", "C2_SETS", "C2_ASSOC", "C2_HIT12",
+    "C_MISS_LAT", "C_LINE_BYTES",
+)
+
+#: Channel-interleave codes for ``CFG.CH_MODE`` (see AddressMapper).
+CH_SLAB, CH_LINE, CH_ROW, CH_XOR = 0, 1, 2, 3
+
+#: Mutable scalar slots (``st[]``), loaded/stored around every call.
+ST_FIELDS = (
+    # call arguments and buffer cursors
+    "N_REQ", "BLK_N", "BLK_NWB", "POS", "WB_PTR", "DONE",
+    "PEND_COUNT", "PEND_CAP", "OUT_COUNT", "HEAP_LEN", "HEAP_CAP",
+    "VIOL_COUNT", "VIOL_CAP", "LAT_COUNT",
+    "WRHIT_COUNT", "WRHIT_CAP", "NMAT", "FAW_HEAD", "FAW_LEN", "NEXT_RID",
+    "TBL_CAP",
+    # controller cursors (SoftwareMemoryController)
+    "SCHED_CURSOR", "DRAM_CURSOR", "EXEC_ANCHOR", "NEXT_REFRESH",
+    "REFRESH_INDEX", "ARRIVAL_COUNTER", "CHARGED", "CRITICAL",
+    # flat timing aggregates (FlatTimingState)
+    "MAX_ACT_ALL", "MAX_CAS_ALL", "MAX_WRITE_END", "MAX_PRE",
+    "LAST_REF", "OPEN_COUNT", "LAST_ISSUE",
+    # time-scaling counters
+    "CNT_PROC", "CNT_MC", "CNT_CRIT_ENTRIES", "CNT_CATCHUP",
+    "CNT_LOCKED_AT", "CNT_CRITICAL",
+    # SmcStats
+    "S_READS", "S_WRITES", "S_PREFETCHES", "S_REFRESHES", "S_STORM",
+    "S_SCHED_CYCLES", "S_BATCHES",
+    # TileStats
+    "T_REQUESTS", "T_RESPONSES", "T_REFRESHES", "T_SCHED_PS",
+    "T_DRAM_BUSY", "T_HITS", "T_MISSES", "T_CONFLICTS",
+    # Bender engine accounting
+    "B_PROGRAMS", "B_CYCLES",
+    # device command counts (indexed by flat kind code)
+    "CMD_ACT", "CMD_PRE", "CMD_PREA", "CMD_RD", "CMD_WR", "CMD_REF",
+    # EngineStats + event-queue sequence (block mode)
+    "E_GATES", "E_RELEASES", "E_REFRESHES", "E_BATCHED", "E_SKIPPED",
+    "QSEQ",
+    # processor replay counters (block mode)
+    "P_CYCLES", "P_ACCESSES", "P_LOADS", "P_STORES", "P_COMPUTE",
+    "P_STALLS", "P_LLC_MISS", "P_WB_REQ",
+    # error reporting / remaining capacities
+    "ERR_ADDR", "LAT_CAP",
+    # resident cache filter (block mode): ticks and CacheStats counters
+    "HAS_CACHE", "C1_TICK", "C2_TICK",
+    "C1_HITS", "C1_MISSES", "C1_WB", "C2_HITS", "C2_MISSES", "C2_WB",
+)
+
+#: Array slots handed to the kernel as one ``int64*[]``.
+PTR_FIELDS = (
+    "CFG", "ST",
+    # per-bank timing state (FlatTimingState + BankState.act_count)
+    "LAST_ACT", "LAST_PRE", "LAST_READ", "LAST_WRITE", "LAST_WRITE_END",
+    "OPEN_ROW", "PREV_OPEN_ROW", "ACT_COUNT",
+    "GROUP_OF", "GMAX_ACT", "GMAX_CAS", "FAW_RING",
+    # memoized conventional plans, indexed [2 * case + is_write]
+    "PLAN_N", "PLAN_KINDS", "PLAN_OFFSETS", "PLAN_CYCLES",
+    "PLAN_CHARGE", "PLAN_MEASURED", "PLAN_POSTFLUSH",
+    # logs: violations (stride VIOL_STRIDE), materialized rows, WR hits
+    "VIOL", "MAT_KEYS", "WRHIT",
+    # request batch (serve_batch entry; sorted by tag)
+    "REQ_TAG", "REQ_ADDR", "REQ_FLAGS", "REQ_CORE",
+    "REQ_RELEASE", "REQ_SERVICE", "TRACKER",
+    # request-table scratch (stride TBL_STRIDE)
+    "TBL",
+    # block replay inputs (run_block entry)
+    "BLK_FLAGS", "BLK_GAP", "BLK_LAT", "BLK_FILL",
+    "BLK_WBIDX", "BLK_WBADDR",
+    # pending requests created since the last gate
+    "PEND_TAG", "PEND_ADDR", "PEND_FLAGS", "PEND_RID", "PEND_RELEASE",
+    # MLP window of outstanding fills
+    "OUT_TAG", "OUT_ISSUE", "OUT_RELEASE", "OUT_RID",
+    # event heap (stride 4: time, seq, kind, payload) + latency log
+    "HEAP", "LATENCIES",
+    # resident cache filter (block mode): byte addresses per access and
+    # per-level way state (tags/dirty/stamps [set*assoc], count/mru [set])
+    "BLK_ADDR",
+    "C1_TAGS", "C1_DIRTY", "C1_STAMPS", "C1_COUNT", "C1_MRU",
+    "C2_TAGS", "C2_DIRTY", "C2_STAMPS", "C2_COUNT", "C2_MRU",
+)
+
+#: Violation log record: kind, bank, row, col, time_ps, earliest_ps, code.
+VIOL_STRIDE = 7
+
+#: Request-table scratch record: order, req_index, bank, row, col, is_wb.
+TBL_STRIDE = 6
+
+#: WR-hit log record: bank, row, col.
+WRHIT_STRIDE = 3
+
+#: Constraint-code -> constraint-name table (TimingChecker vocabulary).
+CONSTRAINT_NAMES = (
+    "power-on", "tRC", "tRP", "tRRD_L", "tRRD_S", "tFAW", "tRFC",
+    "tRCD", "tCCD_L", "tCCD_S", "tWTR", "banks-open",
+)
+
+#: Request flag bits in REQ_FLAGS / PEND_FLAGS.
+FLAG_WRITEBACK = 1
+FLAG_PREFETCH = 2
+
+#: Kernel return codes (shared by the C and pure-Python backends).
+KERN_OK = 0
+KERR_FAW_OVERFLOW = -1      # tFAW ring exceeded FAW_CAP (unreachable)
+KERR_VIOL_OVERFLOW = -2     # violation log full
+KERR_HEAP_OVERFLOW = -3     # event heap full (pathological storm)
+KERR_PEND_OVERFLOW = -4     # pending-request buffer full
+KERR_DECODE_RANGE = -5      # strict decode out of range (pre-scan)
+KERR_DEADLOCK = -6          # gate with no pending requests
+KERR_BAD_KIND = -7          # plan contained an unexpected command kind
+
+#: tFAW ring capacity; far beyond the <= 4 live entries the window holds.
+FAW_RING_CAP = 512
+
+
+def _index_namespace(name: str, fields: tuple[str, ...]):
+    return type(name, (), {f: i for i, f in enumerate(fields)})
+
+
+Cfg = _index_namespace("Cfg", CFG_FIELDS)
+St = _index_namespace("St", ST_FIELDS)
+Ptr = _index_namespace("Ptr", PTR_FIELDS)
+
+
+def render_defines() -> str:
+    """The ``#define`` header the C backend compiles against."""
+    lines = ["/* generated from repro.dram.kernel.state -- do not edit */"]
+    for i, f in enumerate(CFG_FIELDS):
+        lines.append(f"#define CFG_{f} {i}")
+    for i, f in enumerate(ST_FIELDS):
+        lines.append(f"#define ST_{f} {i}")
+    for i, f in enumerate(PTR_FIELDS):
+        lines.append(f"#define P_{f} {i}")
+    lines += [
+        f"#define VIOL_STRIDE {VIOL_STRIDE}",
+        f"#define TBL_STRIDE {TBL_STRIDE}",
+        f"#define WRHIT_STRIDE {WRHIT_STRIDE}",
+        f"#define KERN_OK {KERN_OK}",
+        f"#define KERR_FAW_OVERFLOW {KERR_FAW_OVERFLOW}",
+        f"#define KERR_VIOL_OVERFLOW {KERR_VIOL_OVERFLOW}",
+        f"#define KERR_HEAP_OVERFLOW {KERR_HEAP_OVERFLOW}",
+        f"#define KERR_PEND_OVERFLOW {KERR_PEND_OVERFLOW}",
+        f"#define KERR_DECODE_RANGE {KERR_DECODE_RANGE}",
+        f"#define KERR_DEADLOCK {KERR_DEADLOCK}",
+        f"#define KERR_BAD_KIND {KERR_BAD_KIND}",
+        f"#define NEVER_PS ({NEVER}LL)",
+        "#define FAR_FUTURE (1LL << 62)",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def _arr(n: int) -> np.ndarray:
+    return np.zeros(n, dtype=np.int64)
+
+
+class KernelState:
+    """Owns the kernel's arrays and marshals object state in and out.
+
+    One instance is attached per :class:`SoftwareMemoryController` the
+    first time its kernel path engages.  ``load``/``store`` cover the
+    *controller-side* state (cursors, flat timing arrays, statistics);
+    the block-mode driver additionally syncs the processor/engine fields
+    it owns.
+    """
+
+    def __init__(self, smc) -> None:
+        self.smc = smc
+        config = smc.config
+        t = config.timing
+        cc = config.controller
+        costs = smc.api.costs
+        device = smc._device
+        flat = smc._flat
+        mapper = smc._mapper
+        geo = mapper.geometry
+        scheduler = smc.scheduler
+        n = flat.num_banks
+        self.nbanks = n
+
+        cfg = _arr(len(CFG_FIELDS))
+        cfg[Cfg.TCK] = t.tCK
+        cfg[Cfg.TRCD] = t.tRCD
+        cfg[Cfg.TCCD_S] = t.tCCD_S
+        cfg[Cfg.TCCD_L] = t.tCCD_L
+        cfg[Cfg.TWTR] = t.tWTR
+        cfg[Cfg.TRC] = t.tRC
+        cfg[Cfg.TRP] = t.tRP
+        cfg[Cfg.TRRD_S] = t.tRRD_S
+        cfg[Cfg.TRRD_L] = t.tRRD_L
+        cfg[Cfg.TRAS] = t.tRAS
+        cfg[Cfg.TRTP] = t.tRTP
+        cfg[Cfg.TWR] = t.tWR
+        cfg[Cfg.TFAW] = t.tFAW
+        cfg[Cfg.TRFC] = t.tRFC
+        cfg[Cfg.LAT_RD] = smc._lat_rd_ps
+        cfg[Cfg.LAT_WR] = smc._lat_wr_ps
+        cfg[Cfg.WRITE_BURST] = t.tCWL + t.tBL
+        cfg[Cfg.PROC_PERIOD] = smc._proc_period
+        cfg[Cfg.MC_PERIOD] = smc._mc_period
+        cfg[Cfg.REQ_BUS] = smc._req_bus_ps
+        cfg[Cfg.RESP_BUS] = smc._resp_bus_ps
+        cfg[Cfg.OCCUPANCY] = smc._occupancy_ps
+        cfg[Cfg.PIPELINED] = int(smc._pipelined)
+        cfg[Cfg.TRANSFER_CHARGE] = smc._transfer_charge
+        cfg[Cfg.TOGGLE] = smc._critical_toggle
+        # decision_cost: FCFS = 3 + n, FR-FCFS = 4 + 2n (base + per * n).
+        from repro.core.schedulers import FRFCFS
+        frfcfs = type(scheduler) is FRFCFS
+        cfg[Cfg.SCHED_FRFCFS] = int(frfcfs)
+        cfg[Cfg.DECISION_BASE] = 4 if frfcfs else 3
+        cfg[Cfg.DECISION_PER] = 2 if frfcfs else 1
+        age_cap = getattr(scheduler, "age_cap", None)
+        cfg[Cfg.AGE_CAP] = -1 if age_cap is None else age_cap
+        cfg[Cfg.REFRESH_ENABLED] = int(cc.refresh_enabled)
+        cfg[Cfg.REFRESH_INTERVAL] = smc._refresh_interval
+        cfg[Cfg.STORM_FACTOR] = smc._storm_factor
+        cfg[Cfg.REF_CYCLES] = smc._ref_cycles
+        cfg[Cfg.REF_OFFSET] = smc._ref_offset_ps
+        cfg[Cfg.REF_MEASURED] = smc._ref_measured
+        cfg[Cfg.NBANKS] = n
+        cfg[Cfg.NGROUPS] = flat.num_groups
+        cfg[Cfg.FAW_CAP] = FAW_RING_CAP
+        tracker = smc._core_tracker
+        cfg[Cfg.HAS_TRACKER] = int(tracker is not None)
+        cfg[Cfg.NCORES] = len(tracker.reads) if tracker is not None else 0
+        cfg[Cfg.STRICT_DECODE] = int(mapper.strict)
+        cfg[Cfg.LINE_BYTES] = mapper._line_bytes
+        cfg[Cfg.TOTAL_BYTES] = mapper._total_bytes
+        cfg[Cfg.COLUMNS] = mapper._columns
+        cfg[Cfg.ROWS] = mapper._rows
+        cfg[Cfg.DEC_BANKS] = mapper._num_banks
+        cfg[Cfg.ROW_MAJOR] = int(mapper._row_major)
+        cfg[Cfg.SKEWED] = int(mapper._skewed)
+        cfg[Cfg.CHANNELS] = mapper._channels
+        cfg[Cfg.CH_MODE] = {None: CH_SLAB, "channel-line": CH_LINE,
+                            "channel-row": CH_ROW,
+                            "channel-xor": CH_XOR}[mapper._ch_mode]
+        cfg[Cfg.LINES_PER_CHANNEL] = mapper._lines_per_channel
+        cfg[Cfg.CH_POW2] = int(mapper._ch_pow2)
+        cfg[Cfg.MLP] = config.processor.mlp
+        cfg[Cfg.WINDOW] = config.processor.miss_window
+        self.cfg = cfg
+        self.geometry = geo
+
+        self.st = _arr(len(ST_FIELDS))
+        # Per-bank arrays.
+        self.last_act = _arr(n)
+        self.last_pre = _arr(n)
+        self.last_read = _arr(n)
+        self.last_write = _arr(n)
+        self.last_write_end = _arr(n)
+        self.open_row = _arr(n)
+        self.prev_open_row = _arr(n)
+        self.act_count = _arr(n)
+        self.group_of = np.asarray(flat.group_of, dtype=np.int64)
+        self.gmax_act = _arr(flat.num_groups)
+        self.gmax_cas = _arr(flat.num_groups)
+        self.faw_ring = _arr(FAW_RING_CAP)
+        # Plans: flattened [2 * case + is_write] tables.
+        plan_n = _arr(6)
+        plan_kinds = _arr(6 * 3)
+        plan_offsets = _arr(6 * 3)
+        plan_cycles = _arr(6)
+        plan_charge = _arr(6)
+        plan_measured = _arr(6)
+        plan_postflush = _arr(6)
+        for p, (kinds, offsets, total_cycles, charge, measured,
+                post_flush_ps) in enumerate(smc._plan_list):
+            plan_n[p] = len(kinds)
+            for j, kind in enumerate(kinds):
+                plan_kinds[3 * p + j] = kind
+                plan_offsets[3 * p + j] = offsets[j]
+            plan_cycles[p] = total_cycles
+            plan_charge[p] = charge
+            plan_measured[p] = measured
+            plan_postflush[p] = post_flush_ps
+        self.plan_n = plan_n
+        self.plan_kinds = plan_kinds
+        self.plan_offsets = plan_offsets
+        self.plan_cycles = plan_cycles
+        self.plan_charge = plan_charge
+        self.plan_measured = plan_measured
+        self.plan_postflush = plan_postflush
+        # Logs (grown on demand between calls).
+        self.viol = _arr(VIOL_STRIDE * 4096)
+        self.wrhit = _arr(WRHIT_STRIDE * 256)
+        self.mat_keys = _arr(0)
+        self.tracker_out = _arr(6 * max(1, int(cfg[Cfg.NCORES])))
+        # Batch request arrays (grown on demand).
+        self._req_cap = 0
+        self.req_tag = _arr(0)
+        self.req_addr = _arr(0)
+        self.req_flags = _arr(0)
+        self.req_core = _arr(0)
+        self.req_release = _arr(0)
+        self.req_service = _arr(0)
+        self.tbl = _arr(0)
+        # Block-mode buffers (allocated by the block driver).
+        self.blk_flags = _arr(0)
+        self.blk_gap = _arr(0)
+        self.blk_lat = _arr(0)
+        self.blk_fill = _arr(0)
+        self.blk_wbidx = _arr(0)
+        self.blk_wbaddr = _arr(0)
+        self.pend_tag = _arr(0)
+        self.pend_addr = _arr(0)
+        self.pend_flags = _arr(0)
+        self.pend_rid = _arr(0)
+        self.pend_release = _arr(0)
+        self.out_tag = _arr(0)
+        self.out_issue = _arr(0)
+        self.out_release = _arr(0)
+        self.out_rid = _arr(0)
+        self.heap = _arr(0)
+        self.latencies = _arr(0)
+        self.blk_addr = _arr(0)
+        self.c1_tags = _arr(0)
+        self.c1_dirty = _arr(0)
+        self.c1_stamps = _arr(0)
+        self.c1_count = _arr(0)
+        self.c1_mru = _arr(0)
+        self.c2_tags = _arr(0)
+        self.c2_dirty = _arr(0)
+        self.c2_stamps = _arr(0)
+        self.c2_count = _arr(0)
+        self.c2_mru = _arr(0)
+        #: Memoized ctypes slot table; any buffer swap clears it.
+        self._ptr_table = None
+
+    # -- buffer management --------------------------------------------------
+
+    def ensure_requests(self, n: int) -> None:
+        """Grow the batch request arrays to hold ``n`` entries."""
+        if n <= self._req_cap:
+            return
+        cap = max(64, 2 * n)
+        for name in ("req_tag", "req_addr", "req_flags", "req_core",
+                     "req_release", "req_service"):
+            setattr(self, name, _arr(cap))
+        self.tbl = _arr(TBL_STRIDE * cap)
+        self._req_cap = cap
+        self._ptr_table = None
+
+    def ensure_table(self, entries: int) -> None:
+        if self.tbl.shape[0] < TBL_STRIDE * entries:
+            self.tbl = _arr(TBL_STRIDE * max(64, 2 * entries))
+            self._ptr_table = None
+
+    def ensure_viol(self, entries: int) -> None:
+        if self.viol.shape[0] < VIOL_STRIDE * entries:
+            self.viol = _arr(VIOL_STRIDE * max(4096, 2 * entries))
+            self._ptr_table = None
+
+    def ensure_wrhit(self, entries: int) -> None:
+        if self.wrhit.shape[0] < WRHIT_STRIDE * entries:
+            self.wrhit = _arr(WRHIT_STRIDE * max(256, 2 * entries))
+            self._ptr_table = None
+
+    def refresh_materialized(self) -> None:
+        """Snapshot the device's materialized rows as sorted search keys.
+
+        A conventional WR to a materialized row resets that line to its
+        deterministic filler pattern (see ``DramDevice.issue_plan``).
+        The kernel binary-searches this table and logs the hits; the
+        driver applies the actual writes afterwards (idempotent —
+        ordering within a run cannot matter because nothing reads row
+        data between kernel commands).
+        """
+        rows = self.smc._device._rows
+        if rows:
+            keys = sorted((b << 32) | r for (b, r) in rows.keys())
+            self.mat_keys = np.asarray(keys, dtype=np.int64)
+        else:
+            self.mat_keys = _arr(0)
+        self.st[St.NMAT] = self.mat_keys.shape[0]
+        self._ptr_table = None
+
+    # -- marshalling --------------------------------------------------------
+
+    def load(self) -> None:
+        """Refresh the mutable controller-side state from the objects."""
+        smc = self.smc
+        st = self.st
+        flat = smc._flat
+        n = self.nbanks
+        self.last_act[:n] = flat.last_act
+        self.last_pre[:n] = flat.last_pre
+        self.last_read[:n] = flat.last_read
+        self.last_write[:n] = flat.last_write
+        self.last_write_end[:n] = flat.last_write_end
+        self.open_row[:n] = flat.open_row
+        self.prev_open_row[:n] = flat.prev_open_row
+        for i, bank in enumerate(smc._device.banks):
+            self.act_count[i] = bank.act_count
+        self.gmax_act[:] = flat.group_max_act
+        self.gmax_cas[:] = flat.group_max_cas
+        acts = list(flat.recent_acts)
+        self.faw_ring[:len(acts)] = acts
+        st[St.FAW_HEAD] = 0
+        st[St.FAW_LEN] = len(acts)
+        st[St.SCHED_CURSOR] = smc.sched_cursor
+        st[St.DRAM_CURSOR] = smc.dram_cursor
+        st[St.EXEC_ANCHOR] = smc._exec_anchor_ps
+        st[St.NEXT_REFRESH] = smc._next_refresh_ps
+        st[St.REFRESH_INDEX] = smc._refresh_index
+        st[St.ARRIVAL_COUNTER] = smc._arrival_counter
+        st[St.CHARGED] = smc.api.charged_cycles
+        st[St.CRITICAL] = int(smc.api.critical)
+        st[St.MAX_ACT_ALL] = flat.max_act_all
+        st[St.MAX_CAS_ALL] = flat.max_cas_all
+        st[St.MAX_WRITE_END] = flat.max_write_end
+        st[St.MAX_PRE] = flat.max_pre
+        st[St.LAST_REF] = flat.last_ref
+        st[St.OPEN_COUNT] = flat.open_count
+        st[St.LAST_ISSUE] = smc._device._last_issue_ps
+        counters = smc.counters
+        st[St.CNT_PROC] = counters.processor
+        st[St.CNT_MC] = counters.memory_controller
+        st[St.CNT_CRIT_ENTRIES] = counters.critical_entries
+        st[St.CNT_CATCHUP] = counters.catch_up_cycles
+        st[St.CNT_LOCKED_AT] = counters._locked_processor_at
+        st[St.CNT_CRITICAL] = int(counters.critical_mode)
+        stats = smc.stats
+        st[St.S_READS] = stats.serviced_reads
+        st[St.S_WRITES] = stats.serviced_writes
+        st[St.S_PREFETCHES] = stats.serviced_prefetches
+        st[St.S_REFRESHES] = stats.refreshes
+        st[St.S_STORM] = stats.storm_refreshes
+        st[St.S_SCHED_CYCLES] = stats.total_sched_cycles
+        st[St.S_BATCHES] = stats.batches_executed
+        tstats = smc._tile_stats
+        st[St.T_REQUESTS] = tstats.requests_received
+        st[St.T_RESPONSES] = tstats.responses_sent
+        st[St.T_REFRESHES] = tstats.refreshes_issued
+        st[St.T_SCHED_PS] = tstats.scheduling_ps
+        st[St.T_DRAM_BUSY] = tstats.dram_busy_ps
+        st[St.T_HITS] = tstats.row_hits
+        st[St.T_MISSES] = tstats.row_misses
+        st[St.T_CONFLICTS] = tstats.row_conflicts
+        bender = smc._bender
+        st[St.B_PROGRAMS] = bender.programs_run
+        st[St.B_CYCLES] = bender.total_interface_cycles
+        commands = smc._device.stats.commands
+        st[St.CMD_ACT] = commands.get("ACT", 0)
+        st[St.CMD_PRE] = commands.get("PRE", 0)
+        st[St.CMD_PREA] = commands.get("PREA", 0)
+        st[St.CMD_RD] = commands.get("RD", 0)
+        st[St.CMD_WR] = commands.get("WR", 0)
+        st[St.CMD_REF] = commands.get("REF", 0)
+        st[St.VIOL_COUNT] = 0
+        st[St.VIOL_CAP] = self.viol.shape[0] // VIOL_STRIDE
+        st[St.WRHIT_COUNT] = 0
+        st[St.WRHIT_CAP] = self.wrhit.shape[0] // WRHIT_STRIDE
+        st[St.TBL_CAP] = self.tbl.shape[0] // TBL_STRIDE
+        if self.cfg[Cfg.HAS_TRACKER]:
+            self.tracker_out[:] = 0
+
+    def store(self) -> None:
+        """Write the kernel's state back into the live objects."""
+        smc = self.smc
+        st = self.st
+        flat = smc._flat
+        device = smc._device
+        n = self.nbanks
+        last_act = self.last_act.tolist()
+        last_pre = self.last_pre.tolist()
+        last_read = self.last_read.tolist()
+        last_write = self.last_write.tolist()
+        last_write_end = self.last_write_end.tolist()
+        open_row = self.open_row.tolist()
+        prev_open_row = self.prev_open_row.tolist()
+        act_count = self.act_count.tolist()
+        flat.last_act[:] = last_act
+        flat.last_pre[:] = last_pre
+        flat.last_read[:] = last_read
+        flat.last_write[:] = last_write
+        flat.last_write_end[:] = last_write_end
+        flat.open_row[:] = open_row
+        flat.prev_open_row[:] = prev_open_row
+        for i, bank in enumerate(device.banks):
+            bank.last_act = last_act[i]
+            bank.last_pre = last_pre[i]
+            bank.last_read = last_read[i]
+            bank.last_write = last_write[i]
+            bank.last_write_data_end = last_write_end[i]
+            row = open_row[i]
+            bank.open_row = row if row >= 0 else None
+            prev = prev_open_row[i]
+            bank.previously_open_row = prev if prev >= 0 else None
+            bank.act_count = act_count[i]
+        flat.group_max_act[:] = self.gmax_act.tolist()
+        flat.group_max_cas[:] = self.gmax_cas.tolist()
+        head = int(st[St.FAW_HEAD])
+        length = int(st[St.FAW_LEN])
+        cap = FAW_RING_CAP
+        ring = self.faw_ring
+        acts = [int(ring[(head + i) % cap]) for i in range(length)]
+        flat.recent_acts.clear()
+        flat.recent_acts.extend(acts)
+        # Single-rank topology: the device rank's tFAW list mirrors the
+        # channel-wide window (flat.rank_recent_acts stays unused).
+        rank = device.ranks[0]
+        rank.recent_acts = list(acts)
+        last_ref = int(st[St.LAST_REF])
+        if last_ref != flat.last_ref:
+            # REF issued during the call: _apply_ref semantics.
+            for rank_state in device.ranks:
+                rank_state.last_ref = last_ref
+                rank_state.refresh_epoch_ps = last_ref
+        flat.max_act_all = int(st[St.MAX_ACT_ALL])
+        flat.max_cas_all = int(st[St.MAX_CAS_ALL])
+        flat.max_write_end = int(st[St.MAX_WRITE_END])
+        flat.max_pre = int(st[St.MAX_PRE])
+        flat.last_ref = last_ref
+        flat.open_count = int(st[St.OPEN_COUNT])
+        device._last_issue_ps = int(st[St.LAST_ISSUE])
+        smc.sched_cursor = int(st[St.SCHED_CURSOR])
+        smc.dram_cursor = int(st[St.DRAM_CURSOR])
+        smc._exec_anchor_ps = int(st[St.EXEC_ANCHOR])
+        smc._next_refresh_ps = int(st[St.NEXT_REFRESH])
+        smc._refresh_index = int(st[St.REFRESH_INDEX])
+        smc._arrival_counter = int(st[St.ARRIVAL_COUNTER])
+        smc.api.charged_cycles = int(st[St.CHARGED])
+        smc.api.critical = bool(st[St.CRITICAL])
+        counters = smc.counters
+        counters.processor = int(st[St.CNT_PROC])
+        counters.memory_controller = int(st[St.CNT_MC])
+        counters.critical_entries = int(st[St.CNT_CRIT_ENTRIES])
+        counters.catch_up_cycles = int(st[St.CNT_CATCHUP])
+        counters._locked_processor_at = int(st[St.CNT_LOCKED_AT])
+        counters.critical_mode = bool(st[St.CNT_CRITICAL])
+        stats = smc.stats
+        stats.serviced_reads = int(st[St.S_READS])
+        stats.serviced_writes = int(st[St.S_WRITES])
+        stats.serviced_prefetches = int(st[St.S_PREFETCHES])
+        stats.refreshes = int(st[St.S_REFRESHES])
+        stats.storm_refreshes = int(st[St.S_STORM])
+        stats.total_sched_cycles = int(st[St.S_SCHED_CYCLES])
+        stats.batches_executed = int(st[St.S_BATCHES])
+        tstats = smc._tile_stats
+        tstats.requests_received = int(st[St.T_REQUESTS])
+        tstats.responses_sent = int(st[St.T_RESPONSES])
+        tstats.refreshes_issued = int(st[St.T_REFRESHES])
+        tstats.scheduling_ps = int(st[St.T_SCHED_PS])
+        tstats.dram_busy_ps = int(st[St.T_DRAM_BUSY])
+        tstats.row_hits = int(st[St.T_HITS])
+        tstats.row_misses = int(st[St.T_MISSES])
+        tstats.row_conflicts = int(st[St.T_CONFLICTS])
+        bender = smc._bender
+        bender.programs_run = int(st[St.B_PROGRAMS])
+        bender.total_interface_cycles = int(st[St.B_CYCLES])
+        commands = device.stats.commands
+        for name, slot in (("ACT", St.CMD_ACT), ("PRE", St.CMD_PRE),
+                           ("PREA", St.CMD_PREA), ("RD", St.CMD_RD),
+                           ("WR", St.CMD_WR), ("REF", St.CMD_REF)):
+            count = int(st[slot])
+            if count or name in commands:
+                if count != commands.get(name, 0):
+                    commands[name] = count
+        tracker = smc._core_tracker
+        if tracker is not None and self.cfg[Cfg.HAS_TRACKER]:
+            ncores = int(self.cfg[Cfg.NCORES])
+            out = self.tracker_out
+            for c in range(ncores):
+                base = 6 * c
+                tracker.reads[c] += int(out[base])
+                tracker.writes[c] += int(out[base + 1])
+                tracker.prefetches[c] += int(out[base + 2])
+                tracker.row_hits[c] += int(out[base + 3])
+                tracker.row_misses[c] += int(out[base + 4])
+                tracker.row_conflicts[c] += int(out[base + 5])
+
+    # -- log scatter ---------------------------------------------------------
+
+    def scatter_violations(self) -> None:
+        """Append the kernel's violation log as ViolationRecord objects."""
+        count = int(self.st[St.VIOL_COUNT])
+        if not count:
+            return
+        from repro.dram.commands import Command, CommandKind
+        from repro.dram.flat_timing import KIND_NAMES
+        from repro.dram.timing_checker import ViolationRecord
+        violations = self.smc._device.checker.violations
+        viol = self.viol
+        for i in range(count):
+            base = VIOL_STRIDE * i
+            kind = int(viol[base])
+            violations.append(ViolationRecord(
+                Command(CommandKind(KIND_NAMES[kind]), bank=int(viol[base + 1]),
+                        row=int(viol[base + 2]), col=int(viol[base + 3])),
+                int(viol[base + 4]), int(viol[base + 5]),
+                CONSTRAINT_NAMES[int(viol[base + 6])]))
+        self.st[St.VIOL_COUNT] = 0
+
+    def apply_wr_hits(self) -> None:
+        """Replay WRs that targeted materialized rows onto the row data."""
+        count = int(self.st[St.WRHIT_COUNT])
+        if not count:
+            return
+        device = self.smc._device
+        wrhit = self.wrhit
+        for i in range(count):
+            base = WRHIT_STRIDE * i
+            bank = int(wrhit[base])
+            row = int(wrhit[base + 1])
+            col = int(wrhit[base + 2])
+            device._write_line(bank, row, col,
+                               device.default_line(bank, row, col))
+        self.st[St.WRHIT_COUNT] = 0
+
+    def emit_refreshes(self, refresh_sink, next_refresh_before: int) -> None:
+        """Replay refresh-sink callbacks for deadlines the kernel serviced.
+
+        The serviced deadlines are exactly the arithmetic sequence from
+        the pre-call ``_next_refresh_ps`` (inclusive) to the post-call
+        value (exclusive), stepping by the refresh interval — the kernel
+        refresh loop is the same ``while`` the Python path runs.
+        """
+        if refresh_sink is None:
+            return
+        after = int(self.st[St.NEXT_REFRESH])
+        if after == next_refresh_before:
+            return
+        interval = int(self.cfg[Cfg.REFRESH_INTERVAL])
+        deadline = next_refresh_before
+        while deadline < after:
+            refresh_sink(deadline)
+            deadline += interval
+
+    def pointer_table(self):
+        """The ``int64*[]`` slot table, rebuilt when a buffer is swapped."""
+        if self._ptr_table is not None:
+            return self._ptr_table
+        import ctypes
+        arrays = (
+            self.cfg, self.st,
+            self.last_act, self.last_pre, self.last_read, self.last_write,
+            self.last_write_end, self.open_row, self.prev_open_row,
+            self.act_count, self.group_of, self.gmax_act, self.gmax_cas,
+            self.faw_ring,
+            self.plan_n, self.plan_kinds, self.plan_offsets,
+            self.plan_cycles, self.plan_charge, self.plan_measured,
+            self.plan_postflush,
+            self.viol, self.mat_keys, self.wrhit,
+            self.req_tag, self.req_addr, self.req_flags, self.req_core,
+            self.req_release, self.req_service, self.tracker_out,
+            self.tbl,
+            self.blk_flags, self.blk_gap, self.blk_lat, self.blk_fill,
+            self.blk_wbidx, self.blk_wbaddr,
+            self.pend_tag, self.pend_addr, self.pend_flags, self.pend_rid,
+            self.pend_release,
+            self.out_tag, self.out_issue, self.out_release, self.out_rid,
+            self.heap, self.latencies,
+            self.blk_addr,
+            self.c1_tags, self.c1_dirty, self.c1_stamps, self.c1_count,
+            self.c1_mru,
+            self.c2_tags, self.c2_dirty, self.c2_stamps, self.c2_count,
+            self.c2_mru,
+        )
+        assert len(arrays) == len(PTR_FIELDS)
+        p64 = ctypes.POINTER(ctypes.c_int64)
+        table = (p64 * len(arrays))()
+        null = ctypes.cast(None, p64)
+        for i, arr in enumerate(arrays):
+            table[i] = arr.ctypes.data_as(p64) if arr.size else null
+        self._keepalive = arrays
+        self._ptr_table = table
+        return table
+
+    def array_table(self):
+        """The same slot table as live numpy arrays (pure-Python backend)."""
+        return [
+            self.cfg, self.st,
+            self.last_act, self.last_pre, self.last_read, self.last_write,
+            self.last_write_end, self.open_row, self.prev_open_row,
+            self.act_count, self.group_of, self.gmax_act, self.gmax_cas,
+            self.faw_ring,
+            self.plan_n, self.plan_kinds, self.plan_offsets,
+            self.plan_cycles, self.plan_charge, self.plan_measured,
+            self.plan_postflush,
+            self.viol, self.mat_keys, self.wrhit,
+            self.req_tag, self.req_addr, self.req_flags, self.req_core,
+            self.req_release, self.req_service, self.tracker_out,
+            self.tbl,
+            self.blk_flags, self.blk_gap, self.blk_lat, self.blk_fill,
+            self.blk_wbidx, self.blk_wbaddr,
+            self.pend_tag, self.pend_addr, self.pend_flags, self.pend_rid,
+            self.pend_release,
+            self.out_tag, self.out_issue, self.out_release, self.out_rid,
+            self.heap, self.latencies,
+            self.blk_addr,
+            self.c1_tags, self.c1_dirty, self.c1_stamps, self.c1_count,
+            self.c1_mru,
+            self.c2_tags, self.c2_dirty, self.c2_stamps, self.c2_count,
+            self.c2_mru,
+        ]

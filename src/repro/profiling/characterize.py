@@ -154,28 +154,43 @@ def characterize(session: Session, banks: range, rows: range,
 class LayerTimes:
     """Accumulated host seconds per emulation layer."""
 
-    __slots__ = ("trace_gen", "cache", "smc", "device", "total",
-                 "_smc_depth", "_device_depth")
+    __slots__ = ("trace_gen", "cache", "smc", "device", "kernel", "total",
+                 "kernel_fallbacks", "_smc_depth", "_device_depth",
+                 "_kernel_smc")
 
     def __init__(self) -> None:
         self.trace_gen = 0.0
         self.cache = 0.0
         self.smc = 0.0       # inclusive (device time is subtracted on report)
         self.device = 0.0
+        self.kernel = 0.0    # compiled serve kernel (both entry points)
         self.total = 0.0
+        #: Why kernel serves fell back to the Python paths: reason -> count.
+        self.kernel_fallbacks: dict = {}
         self._smc_depth = 0
         self._device_depth = 0
+        self._kernel_smc = 0.0   # kernel time nested inside an SMC episode
 
     def as_dict(self) -> dict:
-        """JSON-ready breakdown; ``smc_s`` excludes nested device time."""
-        smc_exclusive = max(0.0, self.smc - self.device)
+        """JSON-ready breakdown; ``smc_s`` excludes nested device/kernel time.
+
+        ``kernel_s`` is the compiled serve kernel's inclusive time across
+        both entries (per-gate batches and whole-trace block replay);
+        ``kernel_fallbacks`` counts the serves it declined, by reason, so
+        a disengaged kernel is visible rather than just absent.
+        """
+        smc_exclusive = max(0.0, self.smc - self.device - self._kernel_smc)
+        kernel_outside_smc = self.kernel - self._kernel_smc
         other = max(0.0, self.total
-                    - (self.trace_gen + self.cache + self.smc))
+                    - (self.trace_gen + self.cache + self.smc
+                       + kernel_outside_smc))
         return {
             "trace_gen_s": round(self.trace_gen, 4),
             "cache_s": round(self.cache, 4),
             "smc_s": round(smc_exclusive, 4),
             "device_s": round(self.device, 4),
+            "kernel_s": round(self.kernel, 4),
+            "kernel_fallbacks": dict(self.kernel_fallbacks),
             "other_s": round(other, 4),
             "total_s": round(self.total, 4),
         }
@@ -226,6 +241,7 @@ def measure_layers():
     from repro.cpu.blocks import BlockTrace
     from repro.cpu.cache import CacheHierarchy
     from repro.dram.device import DramDevice
+    from repro.dram.kernel import blockrun
 
     acc = LayerTimes()
     perf = _time.perf_counter
@@ -245,6 +261,31 @@ def measure_layers():
     for name in ("issue", "issue_discard", "issue_fast", "issue_col",
                  "issue_plan"):
         patch(DramDevice, name, "device", "_device_depth")
+
+    def timed_kernel(fn, smc_index):
+        """Kernel entry wrapper: time plus declined-serve reason counts."""
+        def wrapper(*args, **kwargs):
+            start = perf()
+            engaged = fn(*args, **kwargs)
+            span = perf() - start
+            acc.kernel += span
+            if acc._smc_depth:
+                acc._kernel_smc += span
+            if not engaged:
+                reason = (getattr(args[smc_index],
+                                  "kernel_fallback_reason", None)
+                          or "kernel state not resolved")
+                acc.kernel_fallbacks[reason] = \
+                    acc.kernel_fallbacks.get(reason, 0) + 1
+            return engaged
+        return wrapper
+
+    patches.append((SoftwareMemoryController, "service_pending_kernel",
+                    SoftwareMemoryController.service_pending_kernel))
+    SoftwareMemoryController.service_pending_kernel = timed_kernel(
+        SoftwareMemoryController.service_pending_kernel, 0)
+    patches.append((blockrun, "run_gated_kernel", blockrun.run_gated_kernel))
+    blockrun.run_gated_kernel = timed_kernel(blockrun.run_gated_kernel, 3)
 
     original_run_trace = Session.run_trace
     patches.append((Session, "run_trace", original_run_trace))

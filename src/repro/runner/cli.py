@@ -219,10 +219,13 @@ def _profile_command(args: argparse.Namespace) -> int:
     total = breakdown["total_s"]
     print(f"host-time layer breakdown — {args.artifact}"
           f" ({breakdown['point_id']}, {total:.3f}s total)")
-    for layer in ("trace_gen", "cache", "smc", "device", "other"):
+    for layer in ("trace_gen", "cache", "smc", "device", "kernel", "other"):
         seconds = breakdown[f"{layer}_s"]
         share = 100.0 * seconds / total if total else 0.0
         print(f"  {layer:10s} {seconds:8.3f}s  {share:5.1f}%")
+    fallbacks = breakdown.get("kernel_fallbacks") or {}
+    for reason, count in sorted(fallbacks.items(), key=lambda kv: -kv[1]):
+        print(f"  kernel fallback: {reason} ({count} serves)")
     return 0
 
 

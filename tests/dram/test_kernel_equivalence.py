@@ -1,0 +1,219 @@
+"""Kernel differential suite: kernel == flat == object, bit for bit.
+
+``REPRO_KERNEL`` adds a fourth serve path (and a whole-trace block
+replay) that must be a pure host-time optimization, exactly like the
+fastpath before it.  This suite drives *random* request streams —
+hypothesis-generated access blocks across topologies, schedulers, and
+interference knobs — through three serve configurations:
+
+* **kernel** — fastpath on, ``REPRO_KERNEL`` forced to the compiled
+  backend (or the pure-Python mirror when no C compiler exists);
+* **flat**   — fastpath on, kernel disabled (the PR 3 closures);
+* **object** — fastpath off (the staged-program reference pipeline);
+
+and asserts the complete observable artifact — ``RunResult`` (including
+per-core slices), per-request latencies, ``SmcStats``, and device stats
+— is identical across all three.  Prefetch-tagged batches, refresh
+storms, and multi-core contention get dedicated cases on top of the
+randomized cross.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import (ControllerConfig, InterferenceConfig,
+                               jetson_nano_time_scaling)
+from repro.core.system import EasyDRAMSystem
+from repro.cpu.blocks import AccessBlock, BlockTrace
+from repro.cpu.memtrace import FLAG_DEPENDENT, FLAG_WRITE
+from repro.cpu.prefetch import PrefetchConfig
+from repro.dram.kernel import cbackend
+
+LINE = 64
+
+#: The kernel leg: the compiled backend when a C compiler exists, the
+#: pure-Python mirror otherwise (batch entry only, still differential).
+KERNEL_MODE = "c" if cbackend.load()[0] is not None else "py"
+
+MODES = (
+    ("kernel", "1", KERNEL_MODE),
+    ("flat", "1", "0"),
+    ("object", "0", "0"),
+)
+
+
+@contextmanager
+def serve_mode(fastpath: str, kernel: str):
+    saved = {k: os.environ.get(k) for k in ("REPRO_FASTPATH", "REPRO_KERNEL")}
+    os.environ["REPRO_FASTPATH"] = fastpath
+    os.environ["REPRO_KERNEL"] = kernel
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _trace(stream: list[tuple[int, int, int]], split: int) -> BlockTrace:
+    """The drawn stream as (up to) two access blocks."""
+    chunks = [stream[:split], stream[split:]]
+    return BlockTrace(
+        AccessBlock([a for a, _, _ in chunk], [f for _, f, _ in chunk],
+                    [g for _, _, g in chunk])
+        for chunk in chunks if chunk)
+
+
+def _run_artifact(config, stream: list, split: int,
+                  prefetch: PrefetchConfig | None = None) -> dict:
+    """One full session over the stream; every observable, as a dict."""
+    system = EasyDRAMSystem(config)
+    session = system.session("kernel-diff")
+    if prefetch is not None:
+        session.set_prefetcher(0, prefetch)
+    session.run_trace(_trace(stream, split))
+    result = session.finish()
+    artifact = dataclasses.asdict(result)
+    artifact.pop("wall_seconds")
+    artifact["latencies"] = list(session.processor.stats.request_latencies)
+    artifact["smc"] = [dataclasses.asdict(smc.stats)
+                       for smc in system.smcs]
+    artifact["device"] = [dataclasses.asdict(c.tile.device.stats)
+                          for c in system.channels]
+    return artifact
+
+
+def assert_modes_identical(make_config, stream: list, split: int,
+                           prefetch: PrefetchConfig | None = None) -> None:
+    artifacts = {}
+    for name, fastpath, kernel in MODES:
+        with serve_mode(fastpath, kernel):
+            artifacts[name] = _run_artifact(make_config(), stream, split,
+                                            prefetch)
+    assert artifacts["kernel"] == artifacts["flat"], \
+        "kernel serve path changed the artifact"
+    assert artifacts["flat"] == artifacts["object"], \
+        "flat serve path changed the artifact"
+
+
+# -- randomized cross: topology x scheduler x interference -------------------
+
+access = st.tuples(
+    st.integers(min_value=0, max_value=(8 * 1024 * 1024) // LINE - 1)
+    .map(lambda line: line * LINE),
+    st.sampled_from((0, FLAG_WRITE, FLAG_DEPENDENT,
+                     FLAG_WRITE | FLAG_DEPENDENT)),
+    st.integers(min_value=0, max_value=40),
+)
+
+stream_st = st.lists(access, min_size=20, max_size=120)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(stream=stream_st, split=st.integers(min_value=0, max_value=120),
+       topology=st.sampled_from(("ddr4-1ch", "ddr4-2ch")),
+       scheduler=st.sampled_from(("fr-fcfs", "fcfs", "bliss")),
+       storm=st.sampled_from((1, 4)))
+def test_random_streams_identical(stream, split, topology, scheduler, storm):
+    assert_modes_identical(
+        lambda: jetson_nano_time_scaling(
+            controller=ControllerConfig(scheduler=scheduler),
+            interference=InterferenceConfig(refresh_storm_factor=storm),
+        ).with_topology(topology),
+        stream, split)
+
+
+# -- dedicated corners -------------------------------------------------------
+
+
+def _dense_mixed_stream(n: int = 200) -> list[tuple[int, int, int]]:
+    """Row-hit/miss/conflict mix with writebacks: strided rows + reuse."""
+    stream = []
+    for i in range(n):
+        line = (i * 37 + (i % 5) * 4096) % (4 * 1024 * 1024 // LINE)
+        flags = FLAG_WRITE if i % 3 == 0 else 0
+        if i % 11 == 0:
+            flags |= FLAG_DEPENDENT
+        stream.append((line * LINE, flags, i % 7))
+    return stream
+
+
+def test_prefetch_tagged_batches_identical():
+    """A stream prefetcher adds prefetch-tagged fills to every gate."""
+    assert_modes_identical(
+        jetson_nano_time_scaling, _dense_mixed_stream(), 120,
+        prefetch=PrefetchConfig(degree=2, distance=4, streams=8))
+
+
+def test_refresh_storm_batches_identical():
+    """A 8x refresh storm interleaves REF bursts through the episodes."""
+    stream = [(addr, flags, gap + 50) for addr, flags, gap
+              in _dense_mixed_stream(120)]
+    assert_modes_identical(
+        lambda: jetson_nano_time_scaling(
+            interference=InterferenceConfig(refresh_storm_factor=8)),
+        stream, 60)
+
+
+def test_multirank_topology_identical():
+    """Multi-rank forces the kernel's structural fallback; still equal."""
+    assert_modes_identical(
+        lambda: jetson_nano_time_scaling().with_topology("ddr4-1ch-2rk"),
+        _dense_mixed_stream(120), 60)
+
+
+def test_multicore_coreresults_identical():
+    """Contended mix: per-core slices and fairness stay bit-identical."""
+    from repro.core.workload_mix import WorkloadMix, run_mix
+
+    mix = WorkloadMix(("stream", "pointer_chase"))
+    artifacts = {}
+    for name, fastpath, kernel in MODES:
+        with serve_mode(fastpath, kernel):
+            run = run_mix(jetson_nano_time_scaling(), mix, solo=True)
+        artifact = dataclasses.asdict(run.result)
+        artifact.pop("wall_seconds")
+        artifact["core_cycles"] = run.core_cycles
+        artifact["solo_cycles"] = run.solo_cycles
+        artifacts[name] = artifact
+    assert artifacts["kernel"] == artifacts["flat"]
+    assert artifacts["flat"] == artifacts["object"]
+
+
+def test_kernel_actually_engages():
+    """Guard: on the eligible config the kernel serves, not the closures.
+
+    Without this, a silent structural fallback would turn the whole
+    suite into flat-vs-flat and prove nothing about the kernel.
+    """
+    if KERNEL_MODE != "c":
+        pytest.skip("no C compiler; block replay needs the compiled backend")
+    from repro.dram.kernel import blockrun
+
+    engaged = []
+    original = blockrun.run_gated_kernel
+
+    def counting(engine, session, proc, smc):
+        ok = original(engine, session, proc, smc)
+        engaged.append(ok)
+        return ok
+
+    blockrun.run_gated_kernel = counting
+    try:
+        with serve_mode("1", KERNEL_MODE):
+            _run_artifact(jetson_nano_time_scaling(),
+                          _dense_mixed_stream(), 120)
+    finally:
+        blockrun.run_gated_kernel = original
+    assert engaged and all(engaged), \
+        "block-replay kernel never engaged on the eligible config"

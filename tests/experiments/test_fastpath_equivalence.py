@@ -56,11 +56,21 @@ def _strip_tab01_rates(result):
 
 
 def run_both(monkeypatch, fn, *args, **kwargs):
+    """The artifact under all three serve paths.
+
+    Returns (slow, fast, kernel): the object pipeline, the flat
+    closures with the batch kernel disabled, and the batch kernel at
+    its knob default.  Callers normalize all three the same way before
+    asserting equality.
+    """
     monkeypatch.setenv("REPRO_FASTPATH", "0")
     slow = fn(*args, **kwargs)
     monkeypatch.setenv("REPRO_FASTPATH", "1")
+    monkeypatch.setenv("REPRO_KERNEL", "0")
     fast = fn(*args, **kwargs)
-    return slow, fast
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    kernel = fn(*args, **kwargs)
+    return slow, fast, kernel
 
 
 @pytest.mark.parametrize("name,call,normalize", [
@@ -81,10 +91,12 @@ def run_both(monkeypatch, fn, *args, **kwargs):
     ("ablations", lambda: ablations.run(), None),
 ])
 def test_artifact_bit_identical(monkeypatch, name, call, normalize):
-    slow, fast = run_both(monkeypatch, call)
+    slow, fast, kernel = run_both(monkeypatch, call)
     if normalize is not None:
-        slow, fast = normalize(slow), normalize(fast)
+        slow, fast, kernel = normalize(slow), normalize(fast), \
+            normalize(kernel)
     assert slow == fast, f"{name}: fast path changed the artifact"
+    assert fast == kernel, f"{name}: batch kernel changed the artifact"
 
 
 def test_fig15_emulated_quantities_bit_identical(monkeypatch):
@@ -105,8 +117,8 @@ def test_fig15_emulated_quantities_bit_identical(monkeypatch):
             "monotonic": result["monotonic"],
         }
 
-    slow, fast = run_both(monkeypatch, emulated)
-    assert slow == fast
+    slow, fast, kernel = run_both(monkeypatch, emulated)
+    assert slow == fast == kernel
 
 
 def test_fig17_bit_identical_across_fastpath_and_engines(monkeypatch):
@@ -124,8 +136,8 @@ def test_fig17_bit_identical_across_fastpath_and_engines(monkeypatch):
             schedulers=("fr-fcfs", "atlas"), mixes=("copy-chase",),
             topologies=("ddr4-1ch",))
 
-    slow, fast = run_both(monkeypatch, reduced)
-    assert slow == fast
+    slow, fast, kernel = run_both(monkeypatch, reduced)
+    assert slow == fast == kernel
     monkeypatch.setenv("REPRO_ENGINE", "cycle")
     assert reduced() == fast
     monkeypatch.setenv("REPRO_ENGINE", "event")
@@ -146,5 +158,5 @@ def test_fig14_emulated_run_bit_identical(monkeypatch):
         assert results[0] == results[1]  # engines agree at this setting too
         return results[0]
 
-    slow, fast = run_both(monkeypatch, emulated)
-    assert slow == fast
+    slow, fast, kernel = run_both(monkeypatch, emulated)
+    assert slow == fast == kernel

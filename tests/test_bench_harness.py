@@ -51,6 +51,29 @@ class TestRegressionGate:
         report = report_with({"fig08": 1.0})
         assert harness.check_regression(report, baseline) == []
 
+    @staticmethod
+    def kernel_report(speedup: float, kernel_speedup: float) -> dict:
+        return {"results": [{"workload": "fig08", "speedup": speedup,
+                             "kernel_speedup": kernel_speedup}]}
+
+    def test_kernel_column_gated_too(self):
+        # The kernel column has its own (wider) tolerance: its walls are
+        # milliseconds, so the ratio is noisier than the fastpath one.
+        harness = load_harness()
+        baseline = self.kernel_report(3.0, 40.0)
+        report = self.kernel_report(3.0, 15.0)  # below 40.0 * 0.5
+        failures = harness.check_regression(report, baseline)
+        assert len(failures) == 1 and "kernel_speedup" in failures[0]
+        within = self.kernel_report(3.0, 25.0)  # above 40.0 * 0.5
+        assert harness.check_regression(within, baseline) == []
+
+    def test_pre_kernel_baseline_gates_classic_column_only(self):
+        # A v1 baseline (no kernel column) must not fail a v2 report.
+        harness = load_harness()
+        baseline = report_with({"fig08": 3.0})
+        report = self.kernel_report(2.9, 40.0)
+        assert harness.check_regression(report, baseline) == []
+
 
 class TestSpecOverheadGate:
     @staticmethod
@@ -94,16 +117,25 @@ class TestHarnessReport:
     def test_main_writes_report_and_checks(self, tmp_path, monkeypatch):
         harness = load_harness()
         fake = {
-            "schema": "bench-emulation/v1",
+            "schema": "bench-emulation/v2",
             "engine": "event",
             "git_rev": "deadbee",
             "python": "3.11",
             "rounds": 1,
+            "kernel_backend": {
+                "backend": "c", "compiler": "cc 12.2.0",
+                "build_seconds": 0.4, "compiled_this_process": True,
+                "reason": "ok",
+            },
             "results": [{
                 "workload": "fig08", "accesses": 1000,
                 "baseline_wall_s": 1.0, "fastpath_wall_s": 0.25,
+                "kernel_wall_s": 0.05,
                 "baseline_accesses_per_s": 1000,
-                "fastpath_accesses_per_s": 4000, "speedup": 4.0,
+                "fastpath_accesses_per_s": 4000,
+                "kernel_accesses_per_s": 20000,
+                "speedup": 4.0, "kernel_speedup": 20.0,
+                "kernel_vs_fastpath": 5.0,
             }],
         }
         monkeypatch.setattr(harness, "run_benchmarks", lambda rounds: fake)
@@ -126,17 +158,21 @@ class TestHarnessReport:
         harness = load_harness()
         with open(harness.BASELINE_PATH) as fh:
             baseline = json.load(fh)
-        assert baseline["schema"] == "bench-emulation/v1"
+        assert baseline["schema"] == "bench-emulation/v2"
+        assert "compiler" in baseline["kernel_backend"]
+        assert "build_seconds" in baseline["kernel_backend"]
         names = {r["workload"] for r in baseline["results"]}
         assert names == set(harness.WORKLOADS)
         for row in baseline["results"]:
-            assert row["speedup"] >= 3.0  # the tentpole's acceptance bar
+            assert row["speedup"] >= 3.0  # the fastpath acceptance bar
+            # The batch kernel's acceptance bar: >=3x over the fastpath.
+            assert row["kernel_vs_fastpath"] >= 3.0
 
     def test_measure_workload_asserts_artifact_equality(self, monkeypatch):
         harness = load_harness()
-        artifacts = iter([({"a": 1}, 1.0), ({"a": 2}, 1.0)])
+        artifacts = iter([({"a": 1}, 1.0), ({"a": 2}, 1.0), ({"a": 2}, 1.0)])
 
-        def fake_run_once(driver, fast):
+        def fake_run_once(driver, mode):
             artifact, wall = next(artifacts)
             return wall, artifact
 
@@ -147,6 +183,23 @@ class TestHarnessReport:
             assert "artifact" in str(exc)
         else:  # pragma: no cover - guard
             raise AssertionError("artifact mismatch not detected")
+
+    def test_measure_workload_asserts_kernel_artifact_equality(
+            self, monkeypatch):
+        harness = load_harness()
+        artifacts = iter([({"a": 1}, 1.0), ({"a": 1}, 1.0), ({"a": 2}, 1.0)])
+
+        def fake_run_once(driver, mode):
+            artifact, wall = next(artifacts)
+            return wall, artifact
+
+        monkeypatch.setattr(harness, "_run_once", fake_run_once)
+        try:
+            harness.measure_workload("fig08", rounds=1)
+        except AssertionError as exc:
+            assert "kernel" in str(exc)
+        else:  # pragma: no cover - guard
+            raise AssertionError("kernel artifact mismatch not detected")
 
 
 class TestCliBench:

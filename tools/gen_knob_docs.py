@@ -42,6 +42,11 @@ ENV_DOCS: dict[str, tuple[str, str]] = {
         "`.repro-cache/`",
         "Sweep-point result cache root used by `repro run` (keyed on"
         " parameters + source fingerprint)."),
+    "REPRO_CC": (
+        "`cc`/`gcc`/`clang` probe",
+        "C compiler used to build the batch serve kernel; unset probes"
+        " `cc`, `gcc`, `clang` in order.  No compiler means the kernel"
+        " disengages (bit-identical fallback)."),
     "REPRO_ENGINE": (
         "`event`",
         "Emulation engine: `event` (skip-ahead, >=2x faster) or `cycle`"
@@ -59,6 +64,12 @@ ENV_DOCS: dict[str, tuple[str, str]] = {
         "1",
         "Default worker-process count for `repro run` sweeps (same as"
         " `--jobs`)."),
+    "REPRO_KERNEL": (
+        "`auto`",
+        "Batch serve kernel: `auto` compiles the C inner loop (whole"
+        " critical-mode batches in one call), `0` disables it, `py`"
+        " forces the pure-Python mirror, `c` requires the compiled"
+        " backend.  Artifacts are bit-identical in every mode."),
     "REPRO_PREFETCH": (
         "off",
         "Stream prefetcher at every core boundary: `1` enables the"
