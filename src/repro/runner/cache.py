@@ -44,6 +44,26 @@ def default_cache_dir() -> str:
     return os.environ.get("REPRO_CACHE_DIR", "") or ".repro-cache"
 
 
+def point_key(point: SweepPoint, code: str | None = None) -> str:
+    """Content-hash cache key of one sweep point.
+
+    Hashes everything that determines the point's result — the function
+    reference, its parameters, the artifact/point ids, and the source
+    ``code`` fingerprint (current tree when omitted) — so the same
+    scheme keys both the on-disk JSON cache and the service's DuckDB
+    result store (``repro.serve.store``): a code edit moves every key,
+    which is what makes stale results unservable by construction.
+    """
+    payload = json.dumps({
+        "artifact": point.artifact,
+        "point_id": point.point_id,
+        "fn": point.fn,
+        "params": dict(point.params),
+        "code": code if code is not None else code_fingerprint(),
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
 class NullCache:
     """Cache interface that never stores anything (``--no-cache``)."""
 
@@ -70,14 +90,7 @@ class ResultCache(NullCache):
         self.root = Path(root) if root else Path(default_cache_dir())
 
     def key(self, point: SweepPoint) -> str:
-        payload = json.dumps({
-            "artifact": point.artifact,
-            "point_id": point.point_id,
-            "fn": point.fn,
-            "params": dict(point.params),
-            "code": code_fingerprint(),
-        }, sort_keys=True)
-        return hashlib.sha256(payload.encode()).hexdigest()[:32]
+        return point_key(point)
 
     def _path(self, point: SweepPoint) -> Path:
         return self.root / point.artifact / f"{self.key(point)}.json"

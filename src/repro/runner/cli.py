@@ -44,8 +44,13 @@ verbs:
   diff       semantic delta between two specs
   hash       spec content address + run fingerprint; --check gates
              specs/HASHES.json like the KNOBS.md drift gate
+  serve      long-running HTTP service: async job queue + SQL result
+             store (submissions dedupe by run fingerprint)
+  submit     send an artifact or spec to a running service
+  query      read-only SQL over the service's result store
 
-Specs are documented in docs/EXPERIMENTS.md; knobs in docs/KNOBS.md."""
+Specs are documented in docs/EXPERIMENTS.md; knobs in docs/KNOBS.md;
+the service in docs/SERVICE.md."""
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -164,6 +169,81 @@ def _parser() -> argparse.ArgumentParser:
         help="rewrite the HASHES.json lockfile(s) next to the specs")
     hsh.add_argument(
         "--json", action="store_true", help="emit the hashes as JSON")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the persistent simulation service (HTTP job queue"
+             " over a DuckDB/sqlite result store)")
+    srv.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: loopback only)")
+    srv.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="port to listen on (default: $REPRO_SERVE_PORT or 8642;"
+             " 0 picks an ephemeral port)")
+    srv.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="job-queue worker threads"
+             " (default: $REPRO_SERVE_WORKERS or 2)")
+    srv.add_argument(
+        "--store", default=None, metavar="FILE",
+        help="result-store database file (default: $REPRO_SERVE_STORE"
+             " or .repro-serve/results.db)")
+    srv.add_argument(
+        "--backend", choices=("auto", "duckdb", "sqlite"), default=None,
+        help="SQL backend (default: $REPRO_SERVE_BACKEND or auto ="
+             " duckdb when installed, else stdlib sqlite)")
+    srv.add_argument(
+        "--verbose", action="store_true",
+        help="log every HTTP request to stderr")
+
+    sbm = sub.add_parser(
+        "submit",
+        help="submit an artifact or spec to a running `repro serve`")
+    sbm.add_argument(
+        "--url", default=None, metavar="URL",
+        help="service base URL (default: $REPRO_SERVE_URL or"
+             " http://127.0.0.1:8642)")
+    sbm.add_argument(
+        "--artifact", default=None, metavar="ID",
+        help="artifact id to run (see `repro list`)")
+    sbm.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="spec file to submit (its YAML text is posted)")
+    sbm.add_argument(
+        "--overrides", default=None, metavar="JSON",
+        help="JSON object of point-builder overrides,"
+             " e.g. '{\"sizes\": [8192]}'")
+    sbm.add_argument(
+        "--point", action="append", default=None, metavar="ID",
+        help="run only this point id (repeatable); the response carries"
+             " per-point values instead of the combined artifact")
+    sbm.add_argument(
+        "--no-wait", action="store_true",
+        help="return the job id immediately instead of blocking for"
+             " the payload")
+    sbm.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="seconds to wait for completion (with the default"
+             " blocking submit)")
+    sbm.add_argument(
+        "--json", action="store_true",
+        help="print the raw response JSON (including the payload)")
+
+    qry = sub.add_parser(
+        "query",
+        help="read-only SQL over a running service's result store")
+    qry.add_argument("sql", metavar="SQL",
+                     help="a single SELECT-shaped statement, e.g."
+                          " \"SELECT artifact, count(*) FROM points"
+                          " GROUP BY artifact\"")
+    qry.add_argument(
+        "--url", default=None, metavar="URL",
+        help="service base URL (default: $REPRO_SERVE_URL or"
+             " http://127.0.0.1:8642)")
+    qry.add_argument(
+        "--json", action="store_true",
+        help="emit {columns, rows} as JSON instead of an ASCII table")
     return parser
 
 
@@ -513,6 +593,110 @@ def _hash_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    from repro.serve import ResultStore, StoreError, refresh_staleness
+    from repro.serve.server import make_server
+
+    try:
+        store = ResultStore(args.store, backend=args.backend)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = refresh_staleness(store)
+    if report.flagged:
+        print(f"note: flagged {report.points_flagged} point row(s) and"
+              f" {report.jobs_flagged} job row(s) stale (computed by"
+              " other source trees; still queryable)")
+    server = make_server(args.host, args.port, store=store,
+                         workers=args.workers, verbose=args.verbose)
+    print(f"repro serve listening on {server.url}")
+    print(f"  store   {store.path} ({store.backend})")
+    print(f"  workers {server.queue.workers}, code fingerprint"
+          f" {store.code()}")
+    print("  endpoints: POST /submit, GET /status/<job>,"
+          " GET /result/<job>, POST /query, GET /health")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+    return 0
+
+
+def _submit_command(args: argparse.Namespace) -> int:
+    from repro.serve import ServiceClient, ServiceError
+
+    if bool(args.artifact) == bool(args.spec):
+        print("error: pass exactly one of --artifact ID or --spec FILE",
+              file=sys.stderr)
+        return 2
+    overrides = None
+    if args.overrides:
+        try:
+            overrides = json.loads(args.overrides)
+        except ValueError as exc:
+            print(f"error: --overrides is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return 2
+    spec_text = None
+    if args.spec:
+        try:
+            with open(args.spec, encoding="utf-8") as handle:
+                spec_text = handle.read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    client = ServiceClient(args.url, timeout=args.timeout + 30.0)
+    try:
+        response = client.submit(
+            artifact=args.artifact, spec_text=spec_text,
+            overrides=overrides, points=args.point,
+            wait=None if args.no_wait else args.timeout)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(response, indent=2))
+    else:
+        state = response.get("state")
+        source = "store cache hit" if response.get("cached") else (
+            "coalesced onto an in-flight run"
+            if response.get("coalesced") else "executed")
+        print(f"{response.get('job_id')}: {state} ({source},"
+              f" fingerprint {response.get('fingerprint')})")
+        if state == "done" and "result" in response:
+            print(json.dumps(response["result"], indent=2))
+    if response.get("state") == "failed":
+        print(f"error: job failed:\n{response.get('error')}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _query_command(args: argparse.Namespace) -> int:
+    from repro.serve import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        table = client.query(args.sql)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2 if exc.status in (0, 404) else 1
+    if args.json:
+        print(json.dumps(table, indent=2))
+        return 0
+    columns, rows = table.get("columns", []), table.get("rows", [])
+    widths = [max([len(str(c))] + [len(str(r[i])) for r in rows])
+              for i, c in enumerate(columns)]
+    print("  ".join(str(c).ljust(w) for c, w in zip(columns, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    print(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+    return 0
+
+
 def _write_outputs(args: argparse.Namespace, out_dir: str,
                    spec, outcome: SweepOutcome) -> None:
     if args.format == "json":
@@ -617,6 +801,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "diff": _diff_command,
         "hash": _hash_command,
         "list": _list_command,
+        "serve": _serve_command,
+        "submit": _submit_command,
+        "query": _query_command,
     }
     return commands[args.command](args)
 

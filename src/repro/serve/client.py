@@ -1,0 +1,102 @@
+"""Thin stdlib HTTP client for the ``repro serve`` service.
+
+Backs the ``repro submit`` / ``repro query`` CLI verbs and the test
+suite; plain ``urllib`` so embedding it costs nothing.  Responses are
+parsed with ``json.loads``, which accepts the ``NaN``/``Infinity``
+tokens the server emits for non-finite floats — payloads round-trip
+bit-identically through the wire format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+
+class ServiceError(Exception):
+    """The service reported an error (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def default_url() -> str:
+    """Service base URL (``REPRO_SERVE_URL`` or the local default)."""
+    from repro.serve.server import default_port
+
+    return os.environ.get("REPRO_SERVE_URL", "") \
+        or f"http://127.0.0.1:{default_port()}"
+
+
+class ServiceClient:
+    """Typed wrappers over the service's five endpoints."""
+
+    def __init__(self, base_url: str | None = None,
+                 timeout: float = 600.0):
+        self.base_url = (base_url or default_url()).rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, path: str, body: Mapping[str, Any] | None = None):
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data,
+            headers={"Content-Type": "application/json"} if data else {})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except ValueError:
+                payload = {}
+            detail = payload.get("error") or payload.get("state") \
+                or exc.reason
+            raise ServiceError(exc.code, f"{detail}") from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                0, f"cannot reach {self.base_url}: {exc.reason}"
+                " (is `repro serve` running?)") from None
+
+    # -- endpoints ----------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("/health")
+
+    def submit(self, artifact: str | None = None,
+               spec_text: str | None = None,
+               overrides: Mapping[str, Any] | None = None,
+               points: list[str] | None = None,
+               wait: float | None = None) -> dict:
+        body: dict[str, Any] = {}
+        if artifact is not None:
+            body["artifact"] = artifact
+        if spec_text is not None:
+            body["spec"] = spec_text
+        if overrides:
+            body["overrides"] = dict(overrides)
+        if points:
+            body["points"] = list(points)
+        if wait is not None:
+            body["wait"] = wait
+        return self._request("/submit", body)
+
+    def status(self, job_id: str) -> dict:
+        return self._request(f"/status/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("/jobs")["jobs"]
+
+    def result(self, job_id: str, wait: float | None = None) -> dict:
+        suffix = f"?wait={wait}" if wait is not None else ""
+        return self._request(f"/result/{job_id}{suffix}")
+
+    def query(self, sql: str, params: list | None = None) -> dict:
+        body: dict[str, Any] = {"sql": sql}
+        if params:
+            body["params"] = params
+        return self._request("/query", body)

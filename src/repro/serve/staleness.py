@@ -1,0 +1,58 @@
+"""Per-fingerprint staleness tracking for the service result store.
+
+The store's keys embed the source fingerprint, so a code edit makes
+every previously stored row unreachable through the cache interface —
+correctness never depends on this module.  What it adds is
+*visibility*: :func:`refresh_staleness` flags the rows a fingerprint
+bump left behind, so SQL consumers see an explicit ``stale = 1``
+instead of silently mixing results computed by different simulators.
+The server runs it at startup and before reporting /health; flagged
+rows remain queryable forever (regression archaeology across code
+versions is a feature, not a leak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.store import ResultStore
+
+
+@dataclass(frozen=True)
+class StalenessReport:
+    """What one staleness sweep found and flagged."""
+
+    #: Fingerprint of the source tree the store currently serves.
+    code_fingerprint: str
+    #: Rows newly flagged by this sweep (previously fresh, other code).
+    points_flagged: int
+    jobs_flagged: int
+    #: Total stale rows after the sweep (includes previously flagged).
+    points_stale: int
+    jobs_stale: int
+
+    @property
+    def flagged(self) -> int:
+        return self.points_flagged + self.jobs_flagged
+
+    def as_dict(self) -> dict:
+        return {
+            "code_fingerprint": self.code_fingerprint,
+            "points_flagged": self.points_flagged,
+            "jobs_flagged": self.jobs_flagged,
+            "points_stale": self.points_stale,
+            "jobs_stale": self.jobs_stale,
+        }
+
+
+def refresh_staleness(store: ResultStore) -> StalenessReport:
+    """Flag rows the current source fingerprint orphaned; report totals."""
+    points_flagged, jobs_flagged = store.flag_stale()
+    counts = store.counts()
+    return StalenessReport(
+        code_fingerprint=store.code(),
+        points_flagged=points_flagged,
+        jobs_flagged=jobs_flagged,
+        points_stale=counts["points_stale"],
+        jobs_stale=counts["jobs_stale"],
+    )

@@ -122,6 +122,7 @@ class TestEngineEquivalence:
     def test_pointer_chase_identical(self, config_name):
         assert_equivalent(CONFIGS[config_name], chase_driver)
 
+    @pytest.mark.slow  # heaviest equivalence pair in this file (~7 s)
     @pytest.mark.parametrize("config_name", ["jetson", "pidram"])
     def test_writebacks_identical(self, config_name):
         assert_equivalent(CONFIGS[config_name], writeback_driver)

@@ -49,6 +49,7 @@ MIX2 = WorkloadMix.parse("stream+pointer_chase")
 MIX4 = WorkloadMix.parse("stream+init+pointer_chase", cores=4)
 
 
+@pytest.mark.slow  # full dual-engine runs; CI's `slow` leg covers these
 class TestEquivalence:
     def test_engines_bit_identical_two_cores(self):
         config = small_config()

@@ -118,6 +118,7 @@ access = st.tuples(
 stream_st = st.lists(access, min_size=20, max_size=120)
 
 
+@pytest.mark.slow  # 20 randomized full-cross examples; on CI's `slow` leg
 @settings(max_examples=20, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(stream=stream_st, split=st.integers(min_value=0, max_value=120),

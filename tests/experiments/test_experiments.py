@@ -224,6 +224,7 @@ class TestFig16:
         assert "FR-FCFS row-hit rate >= FCFS" in text
 
 
+@pytest.mark.slow  # the 20-point frontier sweep dominates this file (~28 s)
 class TestFig17:
     @pytest.fixture(scope="class")
     def result(self):

@@ -33,6 +33,10 @@ from repro.experiments import (
 )
 from repro.workloads import polybench
 
+# The full artifact-by-artifact sweep is the single heaviest suite in
+# the tree (~35 s); it runs on CI's dedicated `slow` leg.
+pytestmark = pytest.mark.slow
+
 
 def _strip_fig02_wall(result):
     # ``details`` embeds full RunResults; wall_seconds is host time.

@@ -1,0 +1,91 @@
+"""Shared fixtures for the service tests.
+
+The service executes registered artifacts, so these tests register a
+synthetic, instant artifact (``svc-tiny``) whose point function is an
+importable library function — the queue runs sweeps in-process
+(``jobs=1``), so no pickling of the spec itself is required.  The
+registration is removed again on teardown to keep the global registry
+exactly the paper's artifact set for every other test.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runner import SweepPoint, SweepSpec, register
+from repro.runner.registry import _REGISTRY
+from repro.serve.jobs import JobQueue
+from repro.serve.server import make_server, serve_in_thread
+from repro.serve.store import ResultStore
+
+REPO = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+TINY_ARTIFACT = "svc-tiny"
+
+
+def _tiny_points(values=(1, 2, 3)) -> tuple[SweepPoint, ...]:
+    return tuple(
+        SweepPoint(artifact=TINY_ARTIFACT, point_id=f"p{value}",
+                   fn="repro.runner.spec:json_normalize",
+                   params={"value": {"value": value, "squared": value * value}})
+        for value in values)
+
+
+def _tiny_combine(results):
+    return {"total": sum(r["value"] for r in results.values()),
+            "per_point": results}
+
+
+@pytest.fixture
+def tiny_artifact():
+    """Register the instant test artifact; yield its id; deregister."""
+    spec = SweepSpec(
+        artifact=TINY_ARTIFACT, title="Service test artifact",
+        module="tests.serve", build_points=_tiny_points,
+        combine=_tiny_combine, description="instant, for service tests")
+    register(spec)
+    try:
+        yield TINY_ARTIFACT
+    finally:
+        _REGISTRY.pop(TINY_ARTIFACT, None)
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ResultStore(tmp_path / "results.db")
+    yield store
+    store.close()
+
+
+@pytest.fixture
+def service(store, tiny_artifact):
+    """A live ephemeral-port service; yields (server, base_url)."""
+    server = make_server(port=0, store=store)
+    serve_in_thread(server)
+    yield server, server.url
+    server.close()
+
+
+@pytest.fixture
+def spied_service(store, tiny_artifact):
+    """A live service whose runner counts real executions.
+
+    Yields ``(server, url, calls)`` where ``calls`` is a list with one
+    entry per underlying sweep execution — the dedupe contract is
+    ``len(calls) == 1`` no matter how many clients submitted.
+    """
+    from repro.serve.jobs import execute_request
+
+    calls: list[str] = []
+
+    def spying_runner(request, store, jobs=1):
+        calls.append(request.get("artifact") or "spec")
+        return execute_request(request, store, jobs=jobs)
+
+    queue = JobQueue(store, workers=4, runner=spying_runner)
+    server = make_server(port=0, store=store, queue=queue)
+    serve_in_thread(server)
+    yield server, server.url, calls
+    server.close()

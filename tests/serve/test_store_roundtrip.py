@@ -1,0 +1,156 @@
+"""Property-based store round-trip: arbitrary ``RunResult``-shaped
+payloads survive write -> SQL store -> read bit-identically under the
+``tools/compare_results.py`` comparison — non-finite floats, empty
+sweeps, per-core slices and all."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import math
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import SweepPoint, json_normalize
+from repro.serve.store import ResultStore
+
+_REPO = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+
+def _load_compare_tool():
+    spec = importlib.util.spec_from_file_location(
+        "compare_results_for_roundtrip",
+        os.path.join(_REPO, "tools", "compare_results.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+payloads_equal = _load_compare_tool().payloads_equal
+
+# JSON-normalized payloads: what evaluate_point produces and the store
+# holds.  Keys are strings and tuples are lists by construction; floats
+# include NaN/±inf (sweeps emit them for empty latency windows).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 53), max_value=2 ** 53),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=24),
+)
+_payloads = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=12), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+def _runresult_shaped(payload) -> dict:
+    """Wrap arbitrary data in the nesting RunResult payloads have."""
+    return {
+        "requests": 17,
+        "latencies_ps": [1.5, float("nan"), 3.0],
+        "per_core": [{"core": 0, "slowdown": 1.0, "extra": payload}],
+        "payload": payload,
+    }
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(payload=_payloads)
+    def test_arbitrary_payloads_bit_identical(self, tmp_path_factory,
+                                              payload):
+        store = ResultStore(
+            tmp_path_factory.mktemp("store") / "results.db")
+        try:
+            value = json_normalize(_runresult_shaped(payload))
+            point = SweepPoint(artifact="prop", point_id="p0",
+                               fn="repro.runner.spec:json_normalize",
+                               params={"value": 0})
+            store.put(point, value)
+            read = store.get(point)
+            assert payloads_equal(read, value)
+        finally:
+            store.close()
+
+    @settings(max_examples=40, deadline=None)
+    @given(payload=_payloads)
+    def test_job_payload_round_trip(self, tmp_path_factory, payload):
+        store = ResultStore(
+            tmp_path_factory.mktemp("store") / "results.db")
+        try:
+            value = json_normalize(payload)
+            store.record_job("fp", "artifact", "prop", {"artifact": "p"},
+                             value)
+            assert payloads_equal(store.get_job_payload("fp"), value)
+        finally:
+            store.close()
+
+
+class TestEdgeCases:
+    def _round_trip(self, store, value):
+        point = SweepPoint(artifact="edge", point_id="p",
+                           fn="repro.runner.spec:json_normalize",
+                           params={"value": 0})
+        store.put(point, value)
+        return store.get(point)
+
+    def test_empty_sweep_shapes(self, store):
+        for value in ({}, [], {"points": []}, {"series": {}}, None):
+            assert payloads_equal(self._round_trip(store, value),
+                                  json_normalize(value))
+
+    def test_non_finite_floats(self, store):
+        value = json_normalize({
+            "nan": float("nan"),
+            "inf": float("inf"),
+            "ninf": float("-inf"),
+            "mixed": [0.0, -0.0, float("nan"), 1e308],
+        })
+        read = self._round_trip(store, value)
+        assert payloads_equal(read, value)
+        assert math.isnan(read["nan"])
+        assert read["inf"] == float("inf")
+        # -0.0 keeps its sign bit through the round trip.
+        assert math.copysign(1.0, read["mixed"][1]) == -1.0
+
+    def test_float_precision_is_exact(self, store):
+        value = [0.1, 1 / 3, 2 ** -1074, 1.7976931348623157e308]
+        read = self._round_trip(store, value)
+        assert [v.hex() for v in read] == [v.hex() for v in value]
+
+
+class TestPayloadsEqualSemantics:
+    """The comparison itself: strict on types and bits, sane on NaN."""
+
+    def test_nan_equals_nan(self):
+        assert payloads_equal(float("nan"), float("nan"))
+        assert payloads_equal({"x": [float("nan")]}, {"x": [float("nan")]})
+
+    def test_plain_equality_would_fail_on_nan(self):
+        # A freshly computed NaN is a different object from the json
+        # decoder's interned one, so container identity shortcuts don't
+        # save `==` here — this is why compare_results needs
+        # payloads_equal and not plain dict equality.
+        value = {"x": [float("nan")]}
+        assert value != json.loads(json.dumps(value))
+        assert payloads_equal(value, json.loads(json.dumps(value)))
+
+    def test_type_strict(self):
+        assert not payloads_equal(1, 1.0)
+        assert not payloads_equal(True, 1)
+        assert not payloads_equal([1], (1,))
+
+    def test_zero_sign_strict(self):
+        assert not payloads_equal(0.0, -0.0)
+        assert payloads_equal(-0.0, -0.0)
+
+    def test_shape_mismatches(self):
+        assert not payloads_equal({"a": 1}, {"b": 1})
+        assert not payloads_equal([1, 2], [1])
+        assert not payloads_equal({"a": 1}, {"a": 2})

@@ -24,10 +24,33 @@ from __future__ import annotations
 
 import argparse
 import json
+import struct
 import sys
 from pathlib import Path
 
 _SKIP_PREFIXES = ("manifest", "shard-")
+
+
+def payloads_equal(a, b) -> bool:
+    """Bit-identity for JSON-normalized result payloads.
+
+    Stricter than ``==`` on types (``1`` and ``1.0`` differ, as do
+    ``True`` and ``1``) and float bits (``-0.0 != 0.0``), but NaN
+    compares equal to itself — plain ``==`` would call two genuinely
+    identical payloads different the moment a sweep emits a NaN, which
+    is exactly when a comparison tool must not cry wolf.
+    """
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, float):
+        return struct.pack("<d", a) == struct.pack("<d", b)
+    if isinstance(a, list):
+        return len(a) == len(b) and all(
+            payloads_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict):
+        return a.keys() == b.keys() and all(
+            payloads_equal(value, b[key]) for key, value in a.items())
+    return a == b
 
 
 def artifact_files(directory: Path) -> dict[str, Path]:
@@ -44,7 +67,8 @@ def compare(dir_a: Path, dir_b: Path) -> list[str]:
     for name in sorted(set(files_a) & set(files_b)):
         payload_a = json.loads(files_a[name].read_text())
         payload_b = json.loads(files_b[name].read_text())
-        if payload_a.get("result") != payload_b.get("result"):
+        if not payloads_equal(payload_a.get("result"),
+                              payload_b.get("result")):
             problems.append(f"{name}: result payloads differ")
     return problems
 

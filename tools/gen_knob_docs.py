@@ -88,6 +88,30 @@ ENV_DOCS: dict[str, tuple[str, str]] = {
         "Overrides the controller's scheduling policy at construction:"
         " `atlas`, `batch`, `bliss`, `fcfs`, or `fr-fcfs` (see"
         " `repro.core.schedulers.SCHEDULERS`)."),
+    "REPRO_SERVE_BACKEND": (
+        "`auto`",
+        "SQL backend for the `repro serve` result store: `auto` uses"
+        " duckdb when installed and falls back to stdlib sqlite,"
+        " `duckdb`/`sqlite` force one (forcing an unavailable backend"
+        " is a startup error)."),
+    "REPRO_SERVE_PORT": (
+        "8642",
+        "TCP port `repro serve` listens on and clients default to"
+        " (same as `repro serve --port`)."),
+    "REPRO_SERVE_STORE": (
+        "`.repro-serve/results.db`",
+        "Result-store database file backing `repro serve` (same as"
+        " `repro serve --store`); holds every sweep-point row and job"
+        " payload, keyed on parameters + source fingerprint."),
+    "REPRO_SERVE_URL": (
+        "`http://127.0.0.1:8642`",
+        "Service base URL the `repro submit` / `repro query` clients"
+        " talk to (same as their `--url`)."),
+    "REPRO_SERVE_WORKERS": (
+        "2",
+        "Job-queue worker threads in `repro serve` (same as"
+        " `repro serve --workers`); each miss runs its sweep on one"
+        " worker, deduped by run fingerprint."),
 }
 
 _ENV_READ = re.compile(r"environ[^\n]*?[\"'](REPRO_[A-Z0-9_]+)[\"']")

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the `repro serve` service for CI.
+
+Boots a real `repro serve` subprocess on an ephemeral port, then — via
+the same HTTP surface the CLI verbs use — submits the same artifact
+twice, asserts the second response is a store cache hit carrying a
+payload bit-identical (``payloads_equal``) to the first, and runs one
+SQL assertion through `/query`.  Exit status 0 means the service
+contract held end to end.
+
+Usage::
+
+    python tools/service_smoke.py [--artifact fig02] [--overrides JSON]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+
+#: CI-scale defaults: a real paper artifact, shrunk to run in seconds.
+DEFAULT_ARTIFACT = "fig02"
+DEFAULT_OVERRIDES = {"accesses": 2000, "working_set": 262144}
+
+
+def _payloads_equal():
+    spec = importlib.util.spec_from_file_location(
+        "compare_results_for_smoke",
+        os.path.join(ROOT, "tools", "compare_results.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.payloads_equal
+
+
+def _request(url: str, body: dict | None = None, timeout: float = 300.0):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _wait_for_health(base: str, deadline: float = 60.0) -> dict:
+    start = time.monotonic()
+    while True:
+        try:
+            return _request(f"{base}/health", timeout=5.0)
+        except (urllib.error.URLError, ConnectionError, OSError):
+            if time.monotonic() - start > deadline:
+                raise SystemExit(
+                    f"service at {base} never became healthy") from None
+            time.sleep(0.25)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--artifact", default=DEFAULT_ARTIFACT)
+    parser.add_argument("--overrides", default=None,
+                        help="JSON overrides (default: CI-scale preset)")
+    parser.add_argument("--port", type=int, default=18642)
+    args = parser.parse_args(argv)
+    overrides = (json.loads(args.overrides) if args.overrides
+                 else DEFAULT_OVERRIDES)
+    payloads_equal = _payloads_equal()
+
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as tmp:
+        store = os.path.join(tmp, "results.db")
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", str(args.port), "--store", store],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        base = f"http://127.0.0.1:{args.port}"
+        try:
+            health = _wait_for_health(base)
+            print(f"service up: backend={health['backend']}"
+                  f" workers={health['workers']}")
+
+            body = {"artifact": args.artifact, "overrides": overrides,
+                    "wait": 300}
+            first = _request(f"{base}/submit", body)
+            assert first["state"] == "done", first
+            assert not first["cached"], "first submission must execute"
+            print(f"first submit:  {first['job_id']} executed"
+                  f" (fingerprint {first['fingerprint']})")
+
+            second = _request(f"{base}/submit", body)
+            assert second["state"] == "done", second
+            assert second["cached"], \
+                "second identical submission must be a store cache hit"
+            assert second["fingerprint"] == first["fingerprint"]
+            assert payloads_equal(second["result"], first["result"]), \
+                "cached payload differs from the executed one"
+            print(f"second submit: {second['job_id']} store cache hit,"
+                  " payload bit-identical")
+
+            table = _request(f"{base}/query", {
+                "sql": "SELECT artifact, count(*) AS points FROM points"
+                       " WHERE stale = 0 GROUP BY artifact"})
+            assert table["columns"] == ["artifact", "points"], table
+            assert len(table["rows"]) == 1, table
+            row_artifact, points = table["rows"][0]
+            assert row_artifact == args.artifact, table
+            assert points > 0, "no point rows landed in the store"
+            print(f"query: {points} point row(s) stored for"
+                  f" {row_artifact}")
+
+            stats = _request(f"{base}/health")["queue"]
+            assert stats["executed"] == 1 and stats["cached"] == 1, stats
+            print("service smoke OK")
+            return 0
+        finally:
+            server.terminate()
+            try:
+                output = server.communicate(timeout=10)[0]
+            except subprocess.TimeoutExpired:
+                server.kill()
+                output = server.communicate()[0]
+            if output:
+                print("--- server log ---")
+                print(output.rstrip())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
